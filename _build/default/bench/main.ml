@@ -1,0 +1,129 @@
+(* Benchmark harness: regenerates every experiment table (E1-E12, one per
+   table/claim in the paper — see DESIGN.md section 4) and then runs a
+   bechamel microbenchmark suite over the core algorithmic kernels. *)
+
+module B = Beyond_nash
+
+let experiments () = Bn_experiments.Experiments.run_all ()
+
+(* {1 Bechamel microbenchmarks} *)
+
+open Bechamel
+open Toolkit
+
+let bench_nash_support_enum =
+  Test.make ~name:"nash/support-enum-3x3"
+    (Staged.stage (fun () -> ignore (B.Nash.support_enumeration_2p B.Games.roshambo)))
+
+let bench_zero_sum_lp =
+  Test.make ~name:"zero-sum/lp-value-3x3"
+    (Staged.stage (fun () -> ignore (B.Zero_sum.value B.Games.roshambo)))
+
+let bench_robust_check =
+  let g = B.Games.coordination_01 5 in
+  let prof = B.Mixed.pure_profile g (Array.make 5 0) in
+  Test.make ~name:"robust/2-resilience-n5"
+    (Staged.stage (fun () -> ignore (B.Robust.is_k_resilient g prof ~k:2)))
+
+let bench_shamir =
+  let rng = B.Prng.create 1 in
+  Test.make ~name:"crypto/shamir-share-n7"
+    (Staged.stage (fun () -> ignore (B.Shamir.share rng ~secret:12345 ~threshold:2 ~n:7)))
+
+let bench_berlekamp_welch =
+  let rng = B.Prng.create 2 in
+  let shares = B.Shamir.share rng ~secret:999 ~threshold:2 ~n:9 in
+  let corrupted =
+    List.mapi
+      (fun i s -> if i < 2 then { s with B.Shamir.y = B.Field.add s.B.Shamir.y 5 } else s)
+      shares
+  in
+  Test.make ~name:"crypto/berlekamp-welch-n9-e2"
+    (Staged.stage (fun () ->
+         ignore (B.Shamir.robust_reconstruct ~degree:2 ~max_errors:2 corrupted)))
+
+let bench_eig =
+  Test.make ~name:"byzantine/eig-n7-t2"
+    (Staged.stage (fun () ->
+         ignore (B.Eig.run ~n:7 ~t:2 ~values:[| 1; 0; 1; 1; 0; 0; 1 |] ~default:0 ())))
+
+let bench_miller_rabin =
+  Test.make ~name:"machine/miller-rabin-2^31-1"
+    (Staged.stage (fun () -> ignore (B.Primality.is_prime 2147483647)))
+
+let bench_frpd_equilibrium =
+  let spec =
+    { B.Frpd.stage = B.Repeated.pd_paper; horizon = 10; delta = 0.9; memory_cost = 0.05 }
+  in
+  let space = B.Frpd.paper_space ~horizon:10 in
+  Test.make ~name:"repeated/frpd-equilibrium-check"
+    (Staged.stage (fun () ->
+         ignore (B.Frpd.is_equilibrium ~space spec B.Automaton.tit_for_tat)))
+
+let bench_awareness_gne =
+  Test.make ~name:"awareness/fig1-pure-gne"
+    (Staged.stage (fun () -> ignore (B.Aware_examples.generalized_equilibria ~p:0.25)))
+
+let bench_correlated_lp =
+  Test.make ~name:"correlated/max-welfare-chicken"
+    (Staged.stage (fun () -> ignore (B.Correlated.max_welfare B.Games.chicken)))
+
+let bench_rationalizable =
+  Test.make ~name:"rationalizable/pd"
+    (Staged.stage (fun () -> ignore (B.Rationalizable.rationalizable B.Games.prisoners_dilemma)))
+
+let bench_phase_king =
+  Test.make ~name:"byzantine/phase-king-n9-t2"
+    (Staged.stage (fun () ->
+         ignore (B.Phase_king.run ~n:9 ~t:2 ~values:[| 1; 0; 1; 1; 0; 0; 1; 0; 1 |] ())))
+
+let bench_replicator =
+  Test.make ~name:"learning/replicator-500-rounds"
+    (Staged.stage (fun () ->
+         ignore (B.Learning.replicator ~rounds:500 B.Games.prisoners_dilemma)))
+
+let microbenches =
+  Test.make_grouped ~name:"beyond_nash" ~fmt:"%s %s"
+    [
+      bench_nash_support_enum;
+      bench_zero_sum_lp;
+      bench_robust_check;
+      bench_shamir;
+      bench_berlekamp_welch;
+      bench_eig;
+      bench_miller_rabin;
+      bench_frpd_equilibrium;
+      bench_awareness_gne;
+      bench_correlated_lp;
+      bench_rationalizable;
+      bench_phase_king;
+      bench_replicator;
+    ]
+
+let run_microbenches () =
+  print_endline "######## microbenchmarks (bechamel; time per run) ########\n";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances microbenches in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let tab = B.Tab.create ~title:"core kernels" [ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, ols) ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] ->
+          if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+          else Printf.sprintf "%.1f ns" est
+        | Some _ | None -> "n/a"
+      in
+      B.Tab.add_row tab [ name; cell ])
+    rows;
+  B.Tab.print tab
+
+let () =
+  experiments ();
+  run_microbenches ()

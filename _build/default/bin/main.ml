@@ -1,0 +1,89 @@
+(* Command-line interface: run the paper-reproduction experiments and small
+   interactive analyses. *)
+
+module B = Beyond_nash
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, title, _) -> Printf.printf "%-4s %s\n" name title)
+      Bn_experiments.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments (E1-E12).") Term.(const run $ const ())
+
+let exp_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E3).") in
+  let run id =
+    match Bn_experiments.Experiments.find id with
+    | Some (name, title, run) ->
+      Printf.printf "######## %s: %s ########\n\n" name title;
+      run ();
+      `Ok ()
+    | None -> `Error (false, Printf.sprintf "unknown experiment %S; try `list`" id)
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment.") Term.(ret (const run $ id))
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (same output as bench/main.exe minus microbenches).")
+    Term.(const Bn_experiments.Experiments.run_all $ const ())
+
+let classify_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Number of players.") in
+  let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K" ~doc:"Coalition bound.") in
+  let t = Arg.(required & pos 2 (some int) None & info [] ~docv:"T" ~doc:"Fault bound.") in
+  let broadcast = Arg.(value & flag & info [ "broadcast" ] ~doc:"Broadcast channels available.") in
+  let crypto = Arg.(value & flag & info [ "crypto" ] ~doc:"Cryptography + bounded players.") in
+  let pki = Arg.(value & flag & info [ "pki" ] ~doc:"Public-key infrastructure.") in
+  let punishment = Arg.(value & flag & info [ "punishment" ] ~doc:"A (k+t)-punishment strategy exists.") in
+  let utilities = Arg.(value & flag & info [ "utilities" ] ~doc:"Utilities are known to the protocol.") in
+  let run n k t broadcast crypto pki punishment utilities_known =
+    let a = { B.Feasibility.utilities_known; punishment; broadcast; crypto; pki } in
+    match B.Feasibility.classify ~n ~k ~t a with
+    | v ->
+      Printf.printf "%s\n" (B.Feasibility.describe v);
+      (match v with
+      | B.Feasibility.Implementable { bullet; _ } | B.Feasibility.Impossible { bullet; _ } ->
+        Printf.printf "  via: %s\n" (B.Feasibility.bullet_text bullet))
+    | exception Invalid_argument msg -> Printf.printf "error: %s\n" msg
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a mediator-implementation regime (the ADGH bullets).")
+    Term.(const run $ n $ k $ t $ broadcast $ crypto $ pki $ punishment $ utilities)
+
+let solve_cmd =
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"BIMATRIX" ~doc:"Game, e.g. \"3,3 0,5 | 5,0 1,1\" (rows |, cells space, payoffs comma).")
+  in
+  let run spec =
+    match B.Parse.bimatrix_opt spec with
+    | None -> `Error (false, "could not parse the bimatrix; example: \"3,3 0,5 | 5,0 1,1\"")
+    | Some g ->
+      Format.printf "game:@.%a@." B.Normal_form.pp g;
+      let pure = B.Nash.pure_equilibria g in
+      List.iter
+        (fun p -> Printf.printf "pure Nash equilibrium: (row %d, col %d)\n" p.(0) p.(1))
+        pure;
+      List.iter
+        (fun prof -> Format.printf "equilibrium: %a@." B.Mixed.pp_profile prof)
+        (B.Nash.support_enumeration_2p g);
+      (match B.Correlated.max_welfare g with
+      | Some (_, w) -> Printf.printf "max-welfare correlated equilibrium value: %.4f\n" w
+      | None -> ());
+      let surviving = B.Rationalizable.rationalizable g in
+      Printf.printf "rationalizable actions: rows {%s}, cols {%s}\n"
+        (String.concat "," (List.map string_of_int surviving.(0)))
+        (String.concat "," (List.map string_of_int surviving.(1)));
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a 2-player bimatrix game (Nash, correlated, rationalizability).")
+    Term.(ret (const run $ spec))
+
+let main =
+  let doc = "Reproduction of Halpern's `Beyond Nash Equilibrium' (PODC 2008)." in
+  Cmd.group (Cmd.info "beyond-nash" ~version:"1.0.0" ~doc) [ list_cmd; exp_cmd; all_cmd; classify_cmd; solve_cmd ]
+
+let () = exit (Cmd.eval main)

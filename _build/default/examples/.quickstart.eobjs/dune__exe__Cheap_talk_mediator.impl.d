@@ -1,0 +1,1 @@
+examples/cheap_talk_mediator.ml: Array Beyond_nash List Printf String

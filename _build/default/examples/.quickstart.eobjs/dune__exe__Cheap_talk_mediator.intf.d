@@ -1,0 +1,1 @@
+examples/cheap_talk_mediator.mli:

@@ -1,0 +1,1 @@
+examples/costly_computation.ml: Array Beyond_nash List Printf String

@@ -1,0 +1,1 @@
+examples/costly_computation.mli:

@@ -1,0 +1,1 @@
+examples/induction_paradoxes.ml: Array Beyond_nash List Printf String

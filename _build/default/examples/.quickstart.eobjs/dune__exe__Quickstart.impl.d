@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Beyond_nash Format List Printf

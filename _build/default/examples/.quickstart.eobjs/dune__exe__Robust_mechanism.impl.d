@@ -1,0 +1,1 @@
+examples/robust_mechanism.ml: Array Beyond_nash Format List Printf String

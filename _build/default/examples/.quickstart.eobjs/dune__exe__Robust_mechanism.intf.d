@@ -1,0 +1,1 @@
+examples/robust_mechanism.mli:

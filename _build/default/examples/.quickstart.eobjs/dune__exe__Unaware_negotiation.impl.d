@@ -1,0 +1,1 @@
+examples/unaware_negotiation.ml: Array Beyond_nash List Printf String

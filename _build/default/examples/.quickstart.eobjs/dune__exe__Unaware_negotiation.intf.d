@@ -1,0 +1,1 @@
+examples/unaware_negotiation.mli:

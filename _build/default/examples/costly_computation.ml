@@ -1,0 +1,65 @@
+(* Computational games (§3): two scenarios where charging for computation
+   changes what "rational" means.
+
+   Run with: dune exec examples/costly_computation.exe *)
+
+module B = Beyond_nash
+
+(* Scenario 1: a data-auction sniping game. Two bidders can run an exact
+   valuation model (action = true value, complexity grows with the catalog
+   size) or bid a cheap heuristic. High accuracy only pays when the
+   opponent is also accurate; once we charge for the model's runtime, the
+   heuristic profile becomes the computational equilibrium. *)
+let sniping ~catalog_bits ~cost =
+  let exact =
+    B.Machine.deterministic "exact-model"
+      ~complexity:(fun _ -> float_of_int (catalog_bits * catalog_bits))
+      (fun _ -> 1)
+  in
+  let heuristic = B.Machine.deterministic "heuristic" ~complexity:(fun _ -> 1.0) (fun _ -> 0) in
+  let base acts =
+    match (acts.(0), acts.(1)) with
+    | 1, 1 -> [| 6.0; 6.0 |] (* both accurate: efficient trade *)
+    | 1, 0 -> [| 7.0; 2.0 |] (* accurate bidder exploits the sloppy one *)
+    | 0, 1 -> [| 2.0; 7.0 |]
+    | _ -> [| 4.0; 4.0 |]
+  in
+  B.Machine_game.simple
+    ~machines:[| [| exact; heuristic |]; [| exact; heuristic |] |]
+    ~base ~charge:[| cost; cost |]
+
+let () =
+  print_endline "== scenario 1: auction with costly valuation models ==";
+  List.iter
+    (fun (bits, cost) ->
+      let g = sniping ~catalog_bits:bits ~cost in
+      let eqs = B.Machine_game.nash_equilibria g in
+      let show choice =
+        Printf.sprintf "(%s, %s)"
+          (B.Machine_game.machine_space g ~player:0).(choice.(0)).B.Machine.name
+          (B.Machine_game.machine_space g ~player:1).(choice.(1)).B.Machine.name
+      in
+      Printf.printf "catalog %2d bits, cost %.3f/op: equilibria = %s\n" bits cost
+        (String.concat "; " (List.map show eqs)))
+    [ (2, 0.01); (8, 0.01); (16, 0.02); (32, 0.01); (16, 0.0) ];
+
+  (* Scenario 2: the paper's primality game, end to end. *)
+  print_endline "\n== scenario 2: the primality game (Ex 3.1) ==";
+  let rng = B.Prng.create 31415 in
+  List.iter
+    (fun bits ->
+      let spec = B.Primality.default_spec ~bits ~cost_per_op:0.05 in
+      let best = B.Primality.machine_names.(B.Primality.equilibrium_choice (B.Prng.split rng) spec) in
+      Printf.printf "%2d-bit inputs: computational equilibrium machine = %s\n" bits best)
+    [ 8; 16; 24; 32; 40 ];
+
+  (* Scenario 3: FRPD — cooperation bought with memory costs (Ex 3.2). *)
+  print_endline "\n== scenario 3: tit-for-tat as a computational equilibrium (Ex 3.2) ==";
+  let delta = 0.9 in
+  List.iter
+    (fun mu ->
+      match B.Frpd.min_horizon_for_equilibrium ~memory_cost:mu ~delta () with
+      | Some horizon ->
+        Printf.printf "memory cost %.3f: (TfT,TfT) is an equilibrium for all N >= %d\n" mu horizon
+      | None -> Printf.printf "memory cost %.3f: no horizon <= 60\n" mu)
+    [ 0.002; 0.01; 0.05 ]

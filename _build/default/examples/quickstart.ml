@@ -1,0 +1,52 @@
+(* Quickstart: build a game, solve it, and ask the questions the paper says
+   Nash equilibrium cannot answer — all through the public API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module B = Beyond_nash
+
+let () =
+  (* 1. A classical game: prisoner's dilemma (the paper's §3 table). *)
+  let pd = B.Games.prisoners_dilemma in
+  Format.printf "Prisoner's dilemma:@.%a@." B.Normal_form.pp pd;
+  let eqs = B.Nash.pure_equilibria pd in
+  List.iter
+    (fun p ->
+      Printf.printf "pure Nash equilibrium: (%s, %s)\n"
+        (B.Normal_form.action_name pd 0 p.(0))
+        (B.Normal_form.action_name pd 1 p.(1)))
+    eqs;
+
+  (* 2. A mixed equilibrium, found by support enumeration. *)
+  (match B.Nash.find_2p B.Games.battle_of_sexes with
+  | Some prof ->
+    Format.printf "battle of the sexes equilibrium: %a@." B.Mixed.pp_profile prof
+  | None -> print_endline "no equilibrium?!");
+
+  (* 3. Beyond Nash #1 — robustness (§2). The bargaining game's all-stay
+     profile survives every coalition but shatters if one player leaves. *)
+  let bargaining = B.Games.bargaining 4 in
+  let stay = B.Mixed.pure_profile bargaining (Array.make 4 0) in
+  (match B.Solution.classify bargaining stay with
+  | `Robust (k, t) -> Printf.printf "bargaining all-stay is (%d,%d)-robust\n" k t
+  | `Not_nash -> print_endline "not even Nash");
+
+  (* 4. Beyond Nash #2 — computation (§3). Charging for complexity changes
+     the equilibrium: roshambo loses its equilibrium entirely. *)
+  let comp = B.Comp_roshambo.game () in
+  Printf.printf "computational roshambo has an equilibrium: %b (classical: %b)\n"
+    (B.Comp_roshambo.has_equilibrium comp)
+    (B.Comp_roshambo.classical_equilibria () <> []);
+
+  (* 5. Beyond Nash #3 — awareness (§4). Whether A dares to move across
+     depends on its belief that B is unaware of the good reply. *)
+  List.iter
+    (fun p ->
+      let eqs = B.Aware_examples.generalized_equilibria ~p in
+      let outcome =
+        List.fold_left
+          (fun acc prof -> max acc (B.Aware_examples.modeler_outcome ~p prof).(0))
+          neg_infinity eqs
+      in
+      Printf.printf "awareness example, p = %.2f: best equilibrium payoff for A = %.1f\n" p outcome)
+    [ 0.25; 0.75 ]

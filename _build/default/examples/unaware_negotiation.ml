@@ -1,0 +1,114 @@
+(* Games with awareness (§4): a licensing negotiation.
+
+   A startup (S) can accept a buyout or push for a licensing deal. The
+   incumbent (I) can then cooperate or litigate — but S may be unaware
+   that I holds a patent that makes litigation devastating. We model S's
+   uncertainty about its own awareness with an augmented-game collection
+   and compute generalized Nash equilibria; then the virtual-move variant
+   where S knows there is *something* it cannot conceive.
+
+   Run with: dune exec examples/unaware_negotiation.exe *)
+
+module B = Beyond_nash
+module E = B.Extensive
+module A = B.Awareness
+
+(* Underlying game: S: accept -> (2,2); push -> I: cooperate (4,3) or
+   litigate (-3,5). Litigation is I's best response, so an aware S accepts;
+   an S unaware of litigation pushes, expecting (4,3). *)
+let full_i info =
+  E.Decision
+    {
+      player = 1;
+      info;
+      moves = [ ("cooperate", E.Terminal [| 4.0; 3.0 |]); ("litigate", E.Terminal [| -3.0; 5.0 |]) ];
+    }
+
+let naive_i info =
+  E.Decision { player = 1; info; moves = [ ("cooperate", E.Terminal [| 4.0; 3.0 |]) ] }
+
+let s_node info continuation =
+  E.Decision
+    { player = 0; info; moves = [ ("accept", E.Terminal [| 2.0; 2.0 |]); ("push", continuation) ] }
+
+let modeler = E.create ~n_players:2 (s_node "S" (full_i "I"))
+let startup_view = E.create ~n_players:2 (s_node "S.naive" (naive_i "I.naive"))
+
+let unaware_startup =
+  A.create
+    ~games:[ ("modeler", modeler); ("naive", startup_view) ]
+    ~modeler:"modeler"
+    ~f:(fun ~game ~info ->
+      match (game, info) with
+      | "modeler", "S" -> ("naive", "S.naive") (* S believes the naive game *)
+      | "modeler", "I" -> ("modeler", "I") (* I is fully aware *)
+      | "naive", "S.naive" -> ("naive", "S.naive")
+      | "naive", "I.naive" -> ("naive", "I.naive")
+      | g, i -> invalid_arg (Printf.sprintf "F undefined at (%s,%s)" g i))
+
+let top_move profile pair info =
+  match List.assoc_opt pair profile with
+  | Some beh -> (
+    match List.assoc_opt info beh with
+    | Some dist -> fst (List.hd (List.sort (fun (_, a) (_, b) -> compare b a) dist))
+    | None -> "?")
+  | None -> "?"
+
+let () =
+  print_endline "== unaware startup (S does not conceive of litigation) ==";
+  List.iter
+    (fun prof ->
+      let outcome = A.expected_payoffs unaware_startup ~game:"modeler" prof in
+      Printf.printf "GNE: S plays %s, I plays %s -> actual outcome (%.1f, %.1f)\n"
+        (top_move prof (0, "naive") "S.naive")
+        (top_move prof (1, "modeler") "I")
+        outcome.(0) outcome.(1))
+    (A.pure_generalized_equilibria unaware_startup);
+  print_endline
+    "the unaware startup pushes and gets burned: generalized equilibrium predicts the\n\
+     exploitation that Nash analysis of the full game (where S would accept) misses.\n";
+
+  (* Awareness of unawareness: S cannot conceive of the patent but knows
+     incumbents usually have *some* countermove; it values that unknown
+     continuation at [estimate]. *)
+  print_endline "== startup aware of its unawareness (virtual move) ==";
+  List.iter
+    (fun estimate ->
+      let subjective =
+        E.create ~n_players:2
+          (s_node "S.naive"
+             (E.Decision
+                {
+                  player = 1;
+                  info = "I.naive";
+                  moves =
+                    [
+                      ("cooperate", E.Terminal [| 4.0; 3.0 |]);
+                      ("virtual", E.Terminal [| estimate; 4.0 |]);
+                    ];
+                }))
+      in
+      let g =
+        A.create
+          ~games:[ ("modeler", modeler); ("naive", subjective) ]
+          ~modeler:"modeler"
+          ~f:(fun ~game ~info ->
+            match (game, info) with
+            | "modeler", "S" -> ("naive", "S.naive")
+            | "modeler", "I" -> ("modeler", "I")
+            | "naive", "S.naive" -> ("naive", "S.naive")
+            | "naive", "I.naive" -> ("naive", "I.naive")
+            | gm, i -> invalid_arg (Printf.sprintf "F undefined at (%s,%s)" gm i))
+      in
+      let moves =
+        List.sort_uniq compare
+          (List.map
+             (fun prof -> top_move prof (0, "naive") "S.naive")
+             (A.pure_generalized_equilibria g))
+      in
+      Printf.printf "estimate of the unknown countermove = %+.1f: S plays %s\n" estimate
+        (String.concat "/" moves))
+    [ -3.0; 0.0; 3.0 ];
+  print_endline
+    "a pessimistic estimate of the unconceived move makes S accept the buyout — awareness\n\
+     of unawareness changes behaviour exactly as the paper's war example suggests."

@@ -1,0 +1,1 @@
+lib/awareness/aware_examples.ml: Array Awareness Bn_extensive Bn_game List Printf

@@ -1,0 +1,1 @@
+lib/awareness/aware_examples.mli: Awareness Bn_extensive

@@ -1,0 +1,1 @@
+lib/awareness/awareness.ml: Array Bn_extensive Fun List Printf

@@ -1,0 +1,1 @@
+lib/awareness/awareness.mli: Bn_extensive

@@ -1,0 +1,1 @@
+lib/bayesian/bayesian.ml: Array Bn_game Bn_util Fun Hashtbl List Printf

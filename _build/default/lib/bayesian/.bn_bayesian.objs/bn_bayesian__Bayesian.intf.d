@@ -1,0 +1,1 @@
+lib/bayesian/bayesian.mli: Bn_game Bn_util

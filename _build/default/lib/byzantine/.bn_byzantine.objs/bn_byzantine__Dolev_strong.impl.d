@@ -1,0 +1,1 @@
+lib/byzantine/dolev_strong.ml: Array Bn_crypto Bn_dist_sim Fun Hashtbl List Printf

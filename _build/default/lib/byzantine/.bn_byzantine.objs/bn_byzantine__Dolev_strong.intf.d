@@ -1,0 +1,1 @@
+lib/byzantine/dolev_strong.mli: Bn_crypto Bn_dist_sim

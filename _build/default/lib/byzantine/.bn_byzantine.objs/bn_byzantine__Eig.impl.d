@@ -1,0 +1,1 @@
+lib/byzantine/eig.ml: Array Bn_dist_sim Bn_util Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/byzantine/floodset.ml: Array Bn_dist_sim Bn_util Fun List

@@ -1,0 +1,1 @@
+lib/byzantine/floodset.mli: Bn_dist_sim Bn_util

@@ -1,0 +1,1 @@
+lib/byzantine/phase_king.ml: Array Bn_dist_sim Fun List

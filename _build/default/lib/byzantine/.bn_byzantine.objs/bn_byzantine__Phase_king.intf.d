@@ -1,0 +1,1 @@
+lib/byzantine/phase_king.mli: Bn_dist_sim

@@ -1,0 +1,140 @@
+type msg = (int list * int) list
+
+type state = {
+  n : int;
+  t : int;
+  default : int;
+  me : int;
+  (* tree: path (most recent relayer last) -> reported value *)
+  tree : (int list, int) Hashtbl.t;
+}
+
+(* Paths are stored reversed-free: [j1; j2; …; jr] means j1's initial value
+   as relayed by j2, …, jr in successive rounds. *)
+
+let level_entries st r =
+  Hashtbl.fold (fun path v acc -> if List.length path = r then (path, v) :: acc else acc) st.tree []
+
+let protocol ~n ~t ~values ~default =
+  let init me =
+    let tree = Hashtbl.create 64 in
+    Hashtbl.replace tree [] values.(me);
+    { n; t; default; me; tree }
+  in
+  let send ~round ~me:_ st =
+    (* Broadcast all claims at level round-1 whose path doesn't contain me;
+       the root claim (own value) goes out in round 1. *)
+    let entries =
+      List.filter (fun (path, _) -> not (List.mem st.me path)) (level_entries st (round - 1))
+    in
+    if entries = [] then [] else [ (Bn_dist_sim.Sync_net.All, entries) ]
+  in
+  let recv ~round ~me:_ st inbox =
+    List.iter
+      (fun (sender, claims) ->
+        List.iter
+          (fun (path, v) ->
+            if List.length path = round - 1 && not (List.mem sender path) then begin
+              let extended = path @ [ sender ] in
+              if List.length extended <= st.t + 1 && not (Hashtbl.mem st.tree extended) then
+                Hashtbl.replace st.tree extended v
+            end)
+          claims)
+      inbox;
+    st
+  in
+  let output ~me:_ st =
+    (* Recursive majority resolution from the leaves down to the root. *)
+    let rec resolve path =
+      if List.length path = st.t + 1 then
+        match Hashtbl.find_opt st.tree path with Some v -> v | None -> st.default
+      else begin
+        let children =
+          List.filter (fun l -> not (List.mem l path)) (List.init st.n Fun.id)
+        in
+        let votes = List.map (fun l -> resolve (path @ [ l ])) children in
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+          votes;
+        let threshold = List.length children / 2 in
+        let winner = ref None in
+        Hashtbl.iter (fun v c -> if c > threshold then winner := Some v) counts;
+        match !winner with Some v -> v | None -> st.default
+      end
+    in
+    if st.t = 0 then Some (match Hashtbl.find_opt st.tree [] with Some v -> v | None -> st.default)
+    else begin
+      let children = List.init st.n Fun.id in
+      let votes = List.map (fun l -> resolve [ l ]) children in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+        votes;
+      let threshold = List.length children / 2 in
+      let winner = ref None in
+      Hashtbl.iter (fun v c -> if c > threshold then winner := Some v) counts;
+      Some (match !winner with Some v -> v | None -> st.default)
+    end
+  in
+  { Bn_dist_sim.Sync_net.init; send; recv; output }
+
+let run ?adversary ~n ~t ~values ~default () =
+  Bn_dist_sim.Sync_net.run ?adversary ~n ~rounds:(t + 1) (protocol ~n ~t ~values ~default)
+
+(* All paths of distinct ids not containing [me], of a given length, over
+   processes 0..n-1. Used by adversaries to fabricate claims. *)
+let paths_of_length n length =
+  let rec go len acc_paths =
+    if len = 0 then acc_paths
+    else
+      go (len - 1)
+        (List.concat_map
+           (fun path ->
+             List.filter_map
+               (fun j -> if List.mem j path then None else Some (path @ [ j ]))
+               (List.init n Fun.id))
+           acc_paths)
+  in
+  go length [ [] ]
+
+let lying_adversary ~n ~corrupted ~claim =
+  let behave ~round ~me ~inbox:_ =
+    (* Claim at level round-1 that every path led to [claim]. *)
+    let entries =
+      List.filter_map
+        (fun path -> if List.mem me path then None else Some (path, claim))
+        (paths_of_length n (round - 1))
+    in
+    if entries = [] then [] else [ (Bn_dist_sim.Sync_net.All, entries) ]
+  in
+  { Bn_dist_sim.Sync_net.corrupted; behave }
+
+let equivocating_adversary ~n ~corrupted rng =
+  let behave ~round ~me ~inbox:_ =
+    List.filter_map
+      (fun dest ->
+        let entries =
+          List.filter_map
+            (fun path ->
+              if List.mem me path then None else Some (path, Bn_util.Prng.int rng 2))
+            (paths_of_length n (round - 1))
+        in
+        if entries = [] then None else Some (Bn_dist_sim.Sync_net.To dest, entries))
+      (List.init n Fun.id)
+  in
+  { Bn_dist_sim.Sync_net.corrupted; behave }
+
+let agreement result =
+  let decided = List.filter_map Fun.id (Array.to_list result.Bn_dist_sim.Sync_net.outputs) in
+  match decided with [] -> true | v :: rest -> List.for_all (( = ) v) rest
+
+let validity ~honest_values result =
+  match honest_values with
+  | [] -> true
+  | v :: rest ->
+    if List.for_all (( = ) v) rest then
+      Array.for_all
+        (function None -> true | Some d -> d = v)
+        result.Bn_dist_sim.Sync_net.outputs
+    else true

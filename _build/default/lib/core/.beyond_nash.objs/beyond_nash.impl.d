@@ -1,0 +1,1 @@
+lib/core/beyond_nash.ml: Bn_awareness Bn_bayesian Bn_byzantine Bn_crypto Bn_dist_sim Bn_extensive Bn_game Bn_lp Bn_machine Bn_mediator Bn_p2p Bn_repeated Bn_robust Bn_scrip Bn_util Solution

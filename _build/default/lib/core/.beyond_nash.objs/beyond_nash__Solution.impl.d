@@ -1,0 +1,1 @@
+lib/core/solution.ml: Bn_awareness Bn_game Bn_machine Bn_robust Format Option

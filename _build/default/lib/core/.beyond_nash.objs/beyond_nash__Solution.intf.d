@@ -1,0 +1,1 @@
+lib/core/solution.mli: Bn_awareness Bn_game Bn_machine Format

@@ -1,0 +1,1 @@
+lib/crypto/coin_flip.ml: Bn_util Hashing

@@ -1,0 +1,1 @@
+lib/crypto/coin_flip.mli: Bn_util

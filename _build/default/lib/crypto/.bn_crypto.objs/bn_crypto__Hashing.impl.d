@@ -1,0 +1,1 @@
+lib/crypto/hashing.ml: Array Bn_util Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/crypto/hashing.mli: Bn_util

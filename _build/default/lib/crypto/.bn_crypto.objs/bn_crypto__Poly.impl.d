@@ -1,0 +1,1 @@
+lib/crypto/poly.ml: Array Field List

@@ -1,0 +1,1 @@
+lib/crypto/poly.mli: Bn_util

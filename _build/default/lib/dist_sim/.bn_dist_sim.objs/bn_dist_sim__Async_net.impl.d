@@ -1,0 +1,1 @@
+lib/dist_sim/async_net.ml: Array Bn_util List

@@ -1,0 +1,1 @@
+lib/dist_sim/async_net.mli: Bn_util

@@ -1,0 +1,1 @@
+lib/dist_sim/sync_net.ml: Array List

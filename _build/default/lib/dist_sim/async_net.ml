@@ -1,0 +1,59 @@
+type ('s, 'm) process = {
+  init : int -> 's * (int * 'm) list;
+  on_message : me:int -> 's -> sender:int -> 'm -> 's * (int * 'm) list;
+  decided : 's -> int option;
+}
+
+type 'm in_flight = { sender : int; dest : int; payload : 'm; seq : int }
+
+type 'm scheduler = 'm in_flight list -> 'm in_flight
+
+let fifo pending =
+  List.fold_left (fun best m -> if m.seq < best.seq then m else best) (List.hd pending) pending
+
+let random rng pending = List.nth pending (Bn_util.Prng.int rng (List.length pending))
+
+let delayer ~victim ~budget pending =
+  let others = List.filter (fun m -> m.sender <> victim) pending in
+  if others <> [] && !budget > 0 then begin
+    decr budget;
+    fifo others
+  end
+  else fifo pending
+
+type 'o result = {
+  decisions : 'o option array;
+  steps : int;
+  undelivered : int;
+}
+
+let run ?(max_steps = 100_000) ~n ~scheduler process =
+  if n <= 0 then invalid_arg "Async_net.run: need processes";
+  let seq = ref 0 in
+  let pending = ref [] in
+  let post sender (dest, payload) =
+    if dest < 0 || dest >= n then invalid_arg "Async_net.run: destination out of range";
+    pending := { sender; dest; payload; seq = !seq } :: !pending;
+    incr seq
+  in
+  let states =
+    Array.init n (fun me ->
+        let state, outgoing = process.init me in
+        List.iter (post me) outgoing;
+        state)
+  in
+  let steps = ref 0 in
+  let all_decided () = Array.for_all (fun s -> process.decided s <> None) states in
+  while (not (all_decided ())) && !pending <> [] && !steps < max_steps do
+    let m = scheduler !pending in
+    pending := List.filter (fun m' -> m'.seq <> m.seq) !pending;
+    let state, outgoing = process.on_message ~me:m.dest states.(m.dest) ~sender:m.sender m.payload in
+    states.(m.dest) <- state;
+    List.iter (post m.dest) outgoing;
+    incr steps
+  done;
+  {
+    decisions = Array.map process.decided states;
+    steps = !steps;
+    undelivered = List.length !pending;
+  }

@@ -1,0 +1,49 @@
+(** Asynchronous message-passing with an adversarial scheduler.
+
+    The paper's §5 stresses that all of §2's results assume synchrony and
+    that "things are more complicated in asynchronous settings". This
+    module makes that concrete: computation is event-driven, and a
+    {e scheduler} — possibly adversarial — picks which in-flight message is
+    delivered next. Experiment E15 uses it to show an adversarial scheduler
+    delaying consensus linearly in its delay budget, while the synchronous
+    simulator decides in a fixed number of rounds. *)
+
+type ('s, 'm) process = {
+  init : int -> 's * (int * 'm) list;
+      (** Initial state and initial messages (destination, payload). *)
+  on_message : me:int -> 's -> sender:int -> 'm -> 's * (int * 'm) list;
+  decided : 's -> int option;
+}
+
+type 'm in_flight = { sender : int; dest : int; payload : 'm; seq : int }
+(** A pending message; [seq] is a global sequence number (FIFO order). *)
+
+type 'm scheduler = 'm in_flight list -> 'm in_flight
+(** Chooses the next message to deliver from a non-empty pending list. *)
+
+val fifo : 'm scheduler
+(** Deliver in global send order (the synchronous-like baseline). *)
+
+val random : Bn_util.Prng.t -> 'm scheduler
+(** Uniformly random pending message. *)
+
+val delayer : victim:int -> budget:int ref -> 'm scheduler
+(** Adversarial: starves messages {e from} [victim] while any other message
+    is pending, spending one unit of [budget] per starvation step; once the
+    budget is exhausted it behaves like {!fifo}. (A finite budget models
+    the eventual-delivery fairness assumption.) *)
+
+type 'o result = {
+  decisions : 'o option array;
+  steps : int;  (** Messages delivered before termination. *)
+  undelivered : int;  (** Messages still in flight at the end. *)
+}
+
+val run :
+  ?max_steps:int ->
+  n:int ->
+  scheduler:'m scheduler ->
+  ('s, 'm) process ->
+  int result
+(** Runs until every process has decided, no messages are pending, or
+    [max_steps] (default 100_000) deliveries have happened. *)

@@ -1,0 +1,70 @@
+type dest = To of int | All
+
+type ('s, 'm, 'o) protocol = {
+  init : int -> 's;
+  send : round:int -> me:int -> 's -> (dest * 'm) list;
+  recv : round:int -> me:int -> 's -> (int * 'm) list -> 's;
+  output : me:int -> 's -> 'o option;
+}
+
+type 'm adversary = {
+  corrupted : int list;
+  behave : round:int -> me:int -> inbox:(int * 'm) list -> (dest * 'm) list;
+}
+
+let silent corrupted = { corrupted; behave = (fun ~round:_ ~me:_ ~inbox:_ -> []) }
+
+type 'o result = {
+  outputs : 'o option array;
+  rounds_run : int;
+  messages_sent : int;
+}
+
+let run ?adversary ~n ~rounds protocol =
+  if n <= 0 then invalid_arg "Sync_net.run: need processes";
+  let corrupted =
+    match adversary with None -> [||] | Some a -> Array.of_list a.corrupted
+  in
+  let is_corrupt i = Array.exists (( = ) i) corrupted in
+  let states = Array.init n protocol.init in
+  let inboxes = Array.make n [] in
+  let messages = ref 0 in
+  for round = 1 to rounds do
+    let outgoing = Array.make n [] in
+    for me = 0 to n - 1 do
+      let traffic =
+        if is_corrupt me then
+          match adversary with
+          | Some a -> a.behave ~round ~me ~inbox:inboxes.(me)
+          | None -> []
+        else protocol.send ~round ~me states.(me)
+      in
+      outgoing.(me) <- traffic
+    done;
+    let next_inboxes = Array.make n [] in
+    for sender = 0 to n - 1 do
+      List.iter
+        (fun (dest, msg) ->
+          match dest with
+          | To j ->
+            if j < 0 || j >= n then invalid_arg "Sync_net.run: destination out of range";
+            incr messages;
+            next_inboxes.(j) <- (sender, msg) :: next_inboxes.(j)
+          | All ->
+            messages := !messages + n;
+            for j = 0 to n - 1 do
+              next_inboxes.(j) <- (sender, msg) :: next_inboxes.(j)
+            done)
+        outgoing.(sender)
+    done;
+    for me = 0 to n - 1 do
+      let inbox = List.sort (fun (a, _) (b, _) -> compare a b) next_inboxes.(me) in
+      inboxes.(me) <- inbox;
+      if not (is_corrupt me) then states.(me) <- protocol.recv ~round ~me states.(me) inbox
+    done
+  done;
+  let outputs =
+    Array.init n (fun me ->
+        if is_corrupt me then None else protocol.output ~me states.(me))
+  in
+  { outputs; rounds_run = rounds; messages_sent = !messages }

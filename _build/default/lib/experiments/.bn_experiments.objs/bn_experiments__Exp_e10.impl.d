@@ -1,0 +1,1 @@
+lib/experiments/exp_e10.ml: Array Beyond_nash List Printf String

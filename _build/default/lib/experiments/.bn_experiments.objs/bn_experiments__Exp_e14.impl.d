@@ -1,0 +1,1 @@
+lib/experiments/exp_e14.ml: Beyond_nash List Printf String

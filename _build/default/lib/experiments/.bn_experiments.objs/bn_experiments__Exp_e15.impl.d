@@ -1,0 +1,1 @@
+lib/experiments/exp_e15.ml: Array Beyond_nash List Printf

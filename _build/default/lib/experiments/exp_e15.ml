@@ -1,0 +1,81 @@
+(** E15 (extension) — asynchrony (paper §5's open direction).
+
+    All of §2's results assume synchrony. Here a minimal flooding consensus
+    (decide the minimum after hearing from everyone) runs in an
+    asynchronous network that also carries unrelated background traffic (a
+    self-ticking process). Under FIFO or random scheduling the background
+    noise is harmless; an adversarial scheduler spends its fairness budget
+    delivering background messages while starving one participant's value,
+    delaying consensus linearly in the budget — and forever, were delivery
+    not eventually forced. This is §5's "things are more complicated in
+    asynchronous settings", made executable. *)
+
+module B = Beyond_nash
+module A = B.Async_net
+
+let name = "E15"
+let title = "asynchrony: adversarial scheduling delays consensus at will"
+
+type msg = Value of int | Tick
+
+type st = { seen : (int * int) list; participants : int; ticker : bool }
+
+(* Processes 0..n-1 flood their value and decide the minimum after hearing
+   all participants; process n is a ticker that endlessly messages itself —
+   the background traffic an adversarial scheduler hides behind. *)
+let consensus ~n ~values =
+  {
+    A.init =
+      (fun me ->
+        if me = n then ({ seen = []; participants = n; ticker = true }, [ (n, Tick) ])
+        else
+          ( { seen = [ (me, values.(me)) ]; participants = n; ticker = false },
+            List.init n (fun j -> (j, Value values.(me))) ));
+    on_message =
+      (fun ~me st ~sender m ->
+        ignore me;
+        match m with
+        | Tick -> (st, if st.ticker then [ (sender, Tick) ] else [])
+        | Value v ->
+          if st.ticker || List.mem_assoc sender st.seen then (st, [])
+          else ({ st with seen = (sender, v) :: st.seen }, []));
+    decided =
+      (fun st ->
+        if st.ticker then Some (-1)
+        else if List.length st.seen = st.participants then
+          Some (List.fold_left (fun acc (_, v) -> min acc v) max_int st.seen)
+        else None);
+  }
+
+let run_with scheduler ~n ~values =
+  A.run ~n:(n + 1) ~scheduler (consensus ~n ~values)
+
+let run () =
+  let n = 6 in
+  let values = [| 3; 5; 1; 4; 2; 6 |] in
+  let tab =
+    B.Tab.create ~title [ "scheduler"; "steps to decision"; "all decided"; "agreement on min" ]
+  in
+  let describe label result =
+    let participants = Array.sub result.A.decisions 0 n in
+    let decided = Array.for_all (fun d -> d <> None) participants in
+    let agree = Array.for_all (function Some v -> v = 1 | None -> false) participants in
+    B.Tab.add_row tab
+      [ label; string_of_int result.A.steps; string_of_bool decided; string_of_bool agree ]
+  in
+  describe "fifo" (run_with A.fifo ~n ~values);
+  let rng = B.Prng.create 15 in
+  describe "random" (run_with (A.random rng) ~n ~values);
+  List.iter
+    (fun budget_size ->
+      let budget = ref budget_size in
+      describe
+        (Printf.sprintf "delayer(victim=2, budget=%d)" budget_size)
+        (run_with (A.delayer ~victim:2 ~budget) ~n ~values))
+    [ 10; 100; 1000; 5000 ];
+  B.Tab.print tab;
+  print_endline
+    "shape check: decision time under the adversarial scheduler grows linearly in its\n\
+     fairness budget (it hides behind background traffic while starving the victim's value);\n\
+     with an unbounded budget consensus would never be reached. The synchronous simulator\n\
+     (E4) decides the same task in a fixed number of rounds.\n"

@@ -1,0 +1,35 @@
+(** Registry of the paper-reproduction experiments E1–E12 and the extension
+    experiments E13–E15 (correlated-equilibrium mediator value, rational
+    secret sharing, and asynchronous scheduling).
+
+    Each entry regenerates one table/claim of Halpern (PODC 2008); the
+    mapping to paper sections is in DESIGN.md §4 and the measured outcomes
+    are recorded in EXPERIMENTS.md. *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    (Exp_e1.name, Exp_e1.title, Exp_e1.run);
+    (Exp_e2.name, Exp_e2.title, Exp_e2.run);
+    (Exp_e3.name, Exp_e3.title, Exp_e3.run);
+    (Exp_e4.name, Exp_e4.title, Exp_e4.run);
+    (Exp_e5.name, Exp_e5.title, Exp_e5.run);
+    (Exp_e6.name, Exp_e6.title, Exp_e6.run);
+    (Exp_e7.name, Exp_e7.title, Exp_e7.run);
+    (Exp_e8.name, Exp_e8.title, Exp_e8.run);
+    (Exp_e9.name, Exp_e9.title, Exp_e9.run);
+    (Exp_e10.name, Exp_e10.title, Exp_e10.run);
+    (Exp_e11.name, Exp_e11.title, Exp_e11.run);
+    (Exp_e12.name, Exp_e12.title, Exp_e12.run);
+    (Exp_e13.name, Exp_e13.title, Exp_e13.run);
+    (Exp_e14.name, Exp_e14.title, Exp_e14.run);
+    (Exp_e15.name, Exp_e15.title, Exp_e15.run);
+  ]
+
+let find id = List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = String.lowercase_ascii id) all
+
+let run_all () =
+  List.iter
+    (fun (name, title, run) ->
+      Printf.printf "######## %s: %s ########\n\n" name title;
+      run ())
+    all

@@ -1,0 +1,1 @@
+lib/extensive/canned.ml: Extensive List Printf

@@ -1,0 +1,1 @@
+lib/extensive/extensive.ml: Array Bn_game Bn_util Buffer Float Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/extensive/extensive.mli: Bn_game Bn_util

@@ -1,0 +1,1 @@
+lib/game/correlated.ml: Array Bn_lp Bn_util List Mixed Normal_form

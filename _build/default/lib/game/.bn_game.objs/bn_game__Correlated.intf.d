@@ -1,0 +1,1 @@
+lib/game/correlated.mli: Bn_util Mixed Normal_form

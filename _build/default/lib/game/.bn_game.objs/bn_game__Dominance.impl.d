@@ -1,0 +1,1 @@
+lib/game/dominance.ml: Array Bn_util Fun List Normal_form

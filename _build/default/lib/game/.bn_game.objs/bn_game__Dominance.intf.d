@@ -1,0 +1,1 @@
+lib/game/dominance.mli: Normal_form

@@ -1,0 +1,1 @@
+lib/game/games.ml: Array Normal_form

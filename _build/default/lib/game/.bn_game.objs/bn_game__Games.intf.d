@@ -1,0 +1,1 @@
+lib/game/games.mli: Normal_form

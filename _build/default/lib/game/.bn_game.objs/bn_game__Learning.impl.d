@@ -1,0 +1,1 @@
+lib/game/learning.ml: Array Float Mixed Nash Normal_form

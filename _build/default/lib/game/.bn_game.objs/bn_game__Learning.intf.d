@@ -1,0 +1,1 @@
+lib/game/learning.mli: Mixed Normal_form

@@ -1,0 +1,1 @@
+lib/game/mixed.ml: Array Bn_util Float Format List Normal_form Printf String

@@ -1,0 +1,1 @@
+lib/game/mixed.mli: Bn_util Format Normal_form

@@ -1,0 +1,1 @@
+lib/game/nash.ml: Array Bn_util Float List Mixed Normal_form

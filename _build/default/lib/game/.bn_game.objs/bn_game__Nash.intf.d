@@ -1,0 +1,1 @@
+lib/game/nash.mli: Mixed Normal_form

@@ -1,0 +1,1 @@
+lib/game/normal_form.ml: Array Bn_util Float Format Printf String

@@ -1,0 +1,1 @@
+lib/game/normal_form.mli: Format

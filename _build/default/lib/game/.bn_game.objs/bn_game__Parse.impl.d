@@ -1,0 +1,1 @@
+lib/game/parse.ml: Array List Normal_form Printf String

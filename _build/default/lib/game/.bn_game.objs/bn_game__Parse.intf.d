@@ -1,0 +1,1 @@
+lib/game/parse.mli: Normal_form

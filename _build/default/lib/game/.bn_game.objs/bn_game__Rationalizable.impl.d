@@ -1,0 +1,1 @@
+lib/game/rationalizable.ml: Array Bn_lp Bn_util Float Fun List Normal_form

@@ -1,0 +1,1 @@
+lib/game/rationalizable.mli: Mixed Normal_form

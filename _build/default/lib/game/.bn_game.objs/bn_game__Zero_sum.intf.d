@@ -1,0 +1,1 @@
+lib/game/zero_sum.mli: Mixed Normal_form

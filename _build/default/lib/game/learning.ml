@@ -1,0 +1,72 @@
+type trace = { profile : Mixed.profile; rounds : int; final_regret : float }
+
+let fictitious_play ?init ~rounds g =
+  let n = Normal_form.n_players g in
+  let counts = Array.init n (fun i -> Array.make (Normal_form.num_actions g i) 0.0) in
+  let current =
+    match init with
+    | Some p -> Array.copy p
+    | None -> Array.make n 0
+  in
+  for _ = 1 to rounds do
+    Array.iteri (fun i a -> counts.(i).(a) <- counts.(i).(a) +. 1.0) current;
+    let empirical = Array.map Mixed.of_weights counts in
+    for i = 0 to n - 1 do
+      match Nash.pure_best_responses g empirical ~player:i with
+      | [] -> ()
+      | a :: _ -> current.(i) <- a
+    done
+  done;
+  let profile = Array.map Mixed.of_weights counts in
+  { profile; rounds; final_regret = Nash.max_regret g profile }
+
+let replicator ?init ?(dt = 0.1) ~rounds g =
+  let n = Normal_form.n_players g in
+  let prof =
+    match init with
+    | Some p -> Array.map Array.copy p
+    | None -> Array.map Array.copy (Mixed.uniform_profile g)
+  in
+  for _ = 1 to rounds do
+    let updated =
+      Array.init n (fun i ->
+          let m = Normal_form.num_actions g i in
+          let avg = Mixed.expected_payoff g prof i in
+          let fitness =
+            Array.init m (fun a -> Mixed.expected_payoff_vs_pure g prof ~player:i ~action:a)
+          in
+          let raw =
+            Array.init m (fun a ->
+                Float.max 1e-12 (prof.(i).(a) *. (1.0 +. (dt *. (fitness.(a) -. avg)))))
+          in
+          Mixed.of_weights raw)
+    in
+    Array.blit updated 0 prof 0 n
+  done;
+  { profile = prof; rounds; final_regret = Nash.max_regret g prof }
+
+let best_response_iteration ?init ~max_rounds g =
+  let n = Normal_form.n_players g in
+  let current = match init with Some p -> Array.copy p | None -> Array.make n 0 in
+  let rec go round =
+    if Nash.is_pure_nash g current then Some (Array.copy current)
+    else if round >= max_rounds then None
+    else begin
+      let moved = ref false in
+      for i = 0 to n - 1 do
+        if not !moved then begin
+          let prof = Mixed.pure_profile g current in
+          let best = Nash.best_response_value g prof ~player:i in
+          let own = Mixed.expected_payoff g prof i in
+          if best -. own > 1e-9 then begin
+            (match Nash.pure_best_responses g prof ~player:i with
+            | [] -> ()
+            | a :: _ -> current.(i) <- a);
+            moved := true
+          end
+        end
+      done;
+      if !moved then go (round + 1) else Some (Array.copy current)
+    end
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** Learning dynamics: fictitious play and replicator dynamics.
+
+    These provide approximate equilibria for games beyond the reach of the
+    exact solvers and a dynamic account of how equilibrium beliefs could
+    arise — one of the questions the paper raises about one-shot games. *)
+
+type trace = {
+  profile : Mixed.profile;  (** Final (empirical or population) profile. *)
+  rounds : int;  (** Rounds actually executed. *)
+  final_regret : float;  (** {!Nash.max_regret} of [profile]. *)
+}
+
+val fictitious_play :
+  ?init:int array -> rounds:int -> Normal_form.t -> trace
+(** Discrete fictitious play: each round every player best-responds to the
+    empirical mixture of the others' past actions (ties broken by lowest
+    index). [init] is the first round's profile (default all-0). The
+    returned profile is the empirical action frequency per player. *)
+
+val replicator :
+  ?init:Mixed.profile -> ?dt:float -> rounds:int -> Normal_form.t -> trace
+(** Discrete-time replicator dynamics on each player's mixture; payoffs are
+    shifted to keep mixtures valid. Default [init] is uniform, default [dt]
+    is 0.1. *)
+
+val best_response_iteration :
+  ?init:int array -> max_rounds:int -> Normal_form.t -> int array option
+(** Iterated pure best response; [Some profile] if it reaches a pure Nash
+    equilibrium fixed point within [max_rounds]. *)

@@ -1,0 +1,76 @@
+type strategy = float array
+type profile = strategy array
+
+let pure ~num_actions a =
+  if a < 0 || a >= num_actions then invalid_arg "Mixed.pure: action out of range";
+  Array.init num_actions (fun i -> if i = a then 1.0 else 0.0)
+
+let uniform n =
+  if n <= 0 then invalid_arg "Mixed.uniform: no actions";
+  Array.make n (1.0 /. float_of_int n)
+
+let of_weights w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 || Array.exists (fun x -> x < 0.0) w then
+    invalid_arg "Mixed.of_weights: invalid weights";
+  Array.map (fun x -> x /. total) w
+
+let is_valid ?(eps = 1e-6) s =
+  Array.for_all (fun p -> p >= -.eps) s
+  && Float.abs (Array.fold_left ( +. ) 0.0 s -. 1.0) <= eps
+
+let pure_profile g pure_acts =
+  Array.init (Normal_form.n_players g) (fun i ->
+      pure ~num_actions:(Normal_form.num_actions g i) pure_acts.(i))
+
+let uniform_profile g =
+  Array.init (Normal_form.n_players g) (fun i -> uniform (Normal_form.num_actions g i))
+
+let prob_of_profile prof p =
+  let acc = ref 1.0 in
+  Array.iteri (fun i a -> acc := !acc *. prof.(i).(a)) p;
+  !acc
+
+let expected_payoff g prof i =
+  let acc = ref 0.0 in
+  Normal_form.iter_profiles g (fun p ->
+      let pr = prob_of_profile prof p in
+      if pr > 0.0 then acc := !acc +. (pr *. Normal_form.payoff g p i));
+  !acc
+
+let expected_payoffs g prof =
+  Array.init (Normal_form.n_players g) (expected_payoff g prof)
+
+let expected_payoff_vs_pure g prof ~player ~action =
+  let deviated = Array.copy prof in
+  deviated.(player) <- pure ~num_actions:(Normal_form.num_actions g player) action;
+  expected_payoff g deviated player
+
+let support ?(eps = 1e-9) s =
+  let acc = ref [] in
+  Array.iteri (fun i p -> if p > eps then acc := i :: !acc) s;
+  List.rev !acc
+
+let outcome_dist g prof =
+  let pairs = ref [] in
+  Normal_form.iter_profiles g (fun p ->
+      let pr = prob_of_profile prof p in
+      if pr > 0.0 then pairs := (Array.copy p, pr) :: !pairs);
+  Bn_util.Dist.of_list !pairs
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun sa sb ->
+         Array.length sa = Array.length sb
+         && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) sa sb)
+       a b
+
+let pp_strategy ppf s =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") s)))
+
+let pp_profile ppf prof =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_strategy)
+    (Array.to_list prof)

@@ -1,0 +1,112 @@
+let best_response_value g prof ~player =
+  let best = ref neg_infinity in
+  for a = 0 to Normal_form.num_actions g player - 1 do
+    let v = Mixed.expected_payoff_vs_pure g prof ~player ~action:a in
+    if v > !best then best := v
+  done;
+  !best
+
+let pure_best_responses g prof ~player =
+  let best = best_response_value g prof ~player in
+  let acc = ref [] in
+  for a = Normal_form.num_actions g player - 1 downto 0 do
+    let v = Mixed.expected_payoff_vs_pure g prof ~player ~action:a in
+    if Float.abs (v -. best) <= 1e-9 then acc := a :: !acc
+  done;
+  !acc
+
+let regret g prof ~player =
+  let br = best_response_value g prof ~player in
+  let current = Mixed.expected_payoff g prof player in
+  Float.max 0.0 (br -. current)
+
+let max_regret g prof =
+  let worst = ref 0.0 in
+  for i = 0 to Normal_form.n_players g - 1 do
+    let r = regret g prof ~player:i in
+    if r > !worst then worst := r
+  done;
+  !worst
+
+let is_nash ?(eps = 1e-9) g prof = max_regret g prof <= eps
+
+let is_pure_nash ?eps g pure_acts = is_nash ?eps g (Mixed.pure_profile g pure_acts)
+
+let pure_equilibria ?eps g =
+  let acc = ref [] in
+  Normal_form.iter_profiles g (fun p -> if is_pure_nash ?eps g p then acc := Array.copy p :: !acc);
+  List.rev !acc
+
+(* Support enumeration for 2-player games: for supports (s1, s2) of equal
+   size, the row player's mixture must make every column in s2 indifferent,
+   and symmetrically. Solving the two linear systems and verifying the
+   equilibrium conditions yields every equilibrium of a nondegenerate
+   game. *)
+let support_enumeration_2p ?(eps = 1e-7) g =
+  if Normal_form.n_players g <> 2 then
+    invalid_arg "Nash.support_enumeration_2p: two-player games only";
+  let m1 = Normal_form.num_actions g 0 and m2 = Normal_form.num_actions g 1 in
+  let u1 i j = Normal_form.payoff g [| i; j |] 0 in
+  let u2 i j = Normal_form.payoff g [| i; j |] 1 in
+  let results = ref [] in
+  let add prof =
+    if not (List.exists (fun p -> Mixed.equal ~eps:1e-6 p prof) !results) then
+      results := prof :: !results
+  in
+  (* Solve for the mixture of [mixer] (over support s_mix) that makes
+     [other] indifferent across s_other; unknowns: probs + common value. *)
+  let solve_indifference ~payoff_other s_mix s_other =
+    let k = List.length s_mix in
+    let arr_mix = Array.of_list s_mix and arr_other = Array.of_list s_other in
+    let nvars = k + 1 in
+    let rows =
+      (* one indifference equation per action of [other], plus sum-to-1 *)
+      Array.init (Array.length arr_other + 1) (fun r ->
+          if r < Array.length arr_other then
+            Array.init nvars (fun c ->
+                if c < k then payoff_other arr_mix.(c) arr_other.(r) else -1.0)
+          else Array.init nvars (fun c -> if c < k then 1.0 else 0.0))
+    in
+    let rhs = Array.init (Array.length arr_other + 1) (fun r -> if r < Array.length arr_other then 0.0 else 1.0) in
+    if Array.length rows <> nvars then None
+    else
+      match Bn_util.Linalg.solve rows rhs with
+      | None -> None
+      | Some x ->
+        let probs = Array.sub x 0 k in
+        if Array.exists (fun p -> p < -.eps) probs then None
+        else Some (probs, x.(k))
+  in
+  let expand full support probs =
+    let s = Array.make full 0.0 in
+    List.iteri (fun idx a -> s.(a) <- Float.max 0.0 probs.(idx)) support;
+    let total = Array.fold_left ( +. ) 0.0 s in
+    Array.map (fun p -> p /. total) s
+  in
+  let subsets_1 = Bn_util.Combin.subsets_up_to m1 m1 in
+  let subsets_2 = Bn_util.Combin.subsets_up_to m2 m2 in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          if List.length s1 = List.length s2 then
+            (* Row mixture makes column player indifferent on s2 (payoff_other
+               must be u2 as a function of (mixer's action, other's action)). *)
+            match solve_indifference ~payoff_other:u2 s1 s2 with
+            | None -> ()
+            | Some (p1, _) -> (
+              match solve_indifference ~payoff_other:(fun j i -> u1 i j) s2 s1 with
+              | None -> ()
+              | Some (p2, _) ->
+                let prof = [| expand m1 s1 p1; expand m2 s2 p2 |] in
+                if
+                  Mixed.is_valid prof.(0) && Mixed.is_valid prof.(1)
+                  && max_regret g prof <= eps
+                then add prof))
+        subsets_2)
+    subsets_1;
+  List.iter (fun p -> add (Mixed.pure_profile g p)) (pure_equilibria g);
+  List.rev !results
+
+let find_2p ?eps g =
+  match support_enumeration_2p ?eps g with [] -> None | p :: _ -> Some p

@@ -1,0 +1,58 @@
+(** Finite n-player normal-form (strategic) games.
+
+    A game is a set of players [0 … n−1], a finite action set per player and
+    a payoff vector per pure action profile. Payoffs are materialized in a
+    flat table indexed row-major by profile, so lookups during equilibrium
+    checks are O(1). *)
+
+type t
+
+val create :
+  ?player_names:string array ->
+  ?action_names:string array array ->
+  actions:int array ->
+  (int array -> float array) ->
+  t
+(** [create ~actions u] builds a game with [Array.length actions] players
+    where player [i] has [actions.(i)] actions and [u profile] gives the
+    payoff vector (one entry per player) of a pure profile. [u] is evaluated
+    once per profile at construction time.
+    @raise Invalid_argument if some [actions.(i) <= 0] or [u] returns a
+    vector of the wrong arity. *)
+
+val of_bimatrix : float array array -> float array array -> t
+(** Two-player game from payoff matrices [a] (row player) and [b] (column
+    player); [a.(i).(j)] is the row player's payoff when row [i] meets
+    column [j]. Matrices must be rectangular with equal shape. *)
+
+val n_players : t -> int
+val num_actions : t -> int -> int
+val actions : t -> int array
+(** A fresh copy of the action-count vector. *)
+
+val player_name : t -> int -> string
+val action_name : t -> int -> int -> string
+
+val payoff : t -> int array -> int -> float
+(** [payoff g profile i] is player [i]'s payoff at a pure profile. *)
+
+val payoff_vector : t -> int array -> float array
+(** All payoffs at a pure profile (fresh array). *)
+
+val iter_profiles : t -> (int array -> unit) -> unit
+(** Iterate all pure profiles; the array passed to the callback is reused. *)
+
+val profiles : t -> int array list
+(** All pure profiles (fresh arrays). *)
+
+val map_payoffs : (int array -> float array -> float array) -> t -> t
+(** Pointwise payoff transformation (e.g. adding computation charges). *)
+
+val is_zero_sum : ?eps:float -> t -> bool
+(** Whether payoffs sum to (nearly) zero at every profile. *)
+
+val is_symmetric_2p : ?eps:float -> t -> bool
+(** For two-player games: whether [u1(i,j) = u2(j,i)] everywhere. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render a two-player game as a payoff matrix, or a summary otherwise. *)

@@ -1,0 +1,204 @@
+type relation = Le | Ge | Eq
+
+type constraint_row = { coeffs : float array; relation : relation; rhs : float }
+
+type problem = { objective : float array; constraints : constraint_row list }
+
+type outcome =
+  | Optimal of { solution : float array; value : float }
+  | Infeasible
+  | Unbounded
+
+let le coeffs rhs = { coeffs; relation = Le; rhs }
+let ge coeffs rhs = { coeffs; relation = Ge; rhs }
+let eq coeffs rhs = { coeffs; relation = Eq; rhs }
+
+let eps = 1e-9
+
+(* Tableau layout: columns are [structural | slack/surplus | artificial | rhs].
+   [basis.(r)] is the column currently basic in row [r]. Two objective rows
+   are carried: phase-1 (sum of artificials) and phase-2 (the real one). *)
+type tableau = {
+  m : float array array; (* rows x (ncols + 1); last column is rhs *)
+  basis : int array;
+  nvars : int; (* structural *)
+  ncols : int; (* total columns excluding rhs *)
+  obj : float array; (* phase-2 objective over all columns, maximization *)
+}
+
+let build { objective; constraints } =
+  let nvars = Array.length objective in
+  let rows = List.length constraints in
+  (* Normalize rhs to be >= 0 by flipping rows. *)
+  let normalized =
+    List.map
+      (fun { coeffs; relation; rhs } ->
+        if Array.length coeffs <> nvars then invalid_arg "Simplex: coefficient arity";
+        if rhs < 0.0 then
+          ( Array.map (fun c -> -.c) coeffs,
+            (match relation with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.rhs )
+        else (Array.copy coeffs, relation, rhs))
+      constraints
+  in
+  let n_slack = List.length (List.filter (fun (_, r, _) -> r <> Eq) normalized) in
+  let n_art =
+    List.length (List.filter (fun (_, r, _) -> r = Ge || r = Eq) normalized)
+  in
+  let ncols = nvars + n_slack + n_art in
+  let m = Array.make_matrix rows (ncols + 1) 0.0 in
+  let basis = Array.make rows (-1) in
+  let slack_idx = ref nvars in
+  let art_idx = ref (nvars + n_slack) in
+  List.iteri
+    (fun r (coeffs, relation, rhs) ->
+      Array.blit coeffs 0 m.(r) 0 nvars;
+      m.(r).(ncols) <- rhs;
+      (match relation with
+      | Le ->
+        m.(r).(!slack_idx) <- 1.0;
+        basis.(r) <- !slack_idx;
+        incr slack_idx
+      | Ge ->
+        m.(r).(!slack_idx) <- -1.0;
+        incr slack_idx;
+        m.(r).(!art_idx) <- 1.0;
+        basis.(r) <- !art_idx;
+        incr art_idx
+      | Eq ->
+        m.(r).(!art_idx) <- 1.0;
+        basis.(r) <- !art_idx;
+        incr art_idx))
+    normalized;
+  let obj = Array.make ncols 0.0 in
+  Array.blit objective 0 obj 0 nvars;
+  ({ m; basis; nvars; ncols; obj }, nvars + n_slack)
+
+(* Reduced costs for maximizing [c] given the current basis. *)
+let reduced_costs t c =
+  let rows = Array.length t.m in
+  let lambda = Array.make rows 0.0 in
+  for r = 0 to rows - 1 do
+    lambda.(r) <- c.(t.basis.(r))
+  done;
+  Array.init t.ncols (fun j ->
+      let zj = ref 0.0 in
+      for r = 0 to rows - 1 do
+        zj := !zj +. (lambda.(r) *. t.m.(r).(j))
+      done;
+      c.(j) -. !zj)
+
+let objective_value t c =
+  let acc = ref 0.0 in
+  Array.iteri (fun r bj -> acc := !acc +. (c.(bj) *. t.m.(r).(t.ncols))) t.basis;
+  !acc
+
+let pivot t ~row ~col =
+  let rows = Array.length t.m in
+  let p = t.m.(row).(col) in
+  for j = 0 to t.ncols do
+    t.m.(row).(j) <- t.m.(row).(j) /. p
+  done;
+  for r = 0 to rows - 1 do
+    if r <> row && Float.abs t.m.(r).(col) > 0.0 then begin
+      let f = t.m.(r).(col) in
+      for j = 0 to t.ncols do
+        t.m.(r).(j) <- t.m.(r).(j) -. (f *. t.m.(row).(j))
+      done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* One simplex run maximizing [c] over columns [0, limit). Bland's rule. *)
+let run t c ~limit =
+  let rows = Array.length t.m in
+  let rec step () =
+    let rc = reduced_costs t c in
+    let entering = ref (-1) in
+    (try
+       for j = 0 to limit - 1 do
+         if rc.(j) > eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to rows - 1 do
+        if t.m.(r).(col) > eps then begin
+          let ratio = t.m.(r).(t.ncols) /. t.m.(r).(col) in
+          if
+            ratio < !best_ratio -. eps
+            || (Float.abs (ratio -. !best_ratio) <= eps
+               && (!best_row < 0 || t.basis.(r) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := r
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        step ()
+      end
+    end
+  in
+  step ()
+
+let solve problem =
+  let t, non_artificial = build problem in
+  let has_artificials = t.ncols > non_artificial in
+  let feasible =
+    if not has_artificials then true
+    else begin
+      (* Phase 1: maximize -(sum of artificials). *)
+      let c1 = Array.make t.ncols 0.0 in
+      for j = non_artificial to t.ncols - 1 do
+        c1.(j) <- -1.0
+      done;
+      (match run t c1 ~limit:t.ncols with
+      | `Unbounded -> () (* cannot happen: phase-1 objective is bounded *)
+      | `Optimal -> ());
+      let v1 = objective_value t c1 in
+      if v1 < -.eps then false
+      else begin
+        (* Drive any artificial still basic (at zero) out of the basis. *)
+        Array.iteri
+          (fun r bj ->
+            if bj >= non_artificial then begin
+              let found = ref (-1) in
+              for j = 0 to non_artificial - 1 do
+                if !found < 0 && Float.abs t.m.(r).(j) > eps then found := j
+              done;
+              if !found >= 0 then pivot t ~row:r ~col:!found
+            end)
+          t.basis;
+        true
+      end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    (* Phase 2: entering variables restricted to non-artificial columns;
+       any artificial left basic sits at value 0 in a redundant row. *)
+    let c2 = Array.make t.ncols 0.0 in
+    Array.blit t.obj 0 c2 0 (Array.length t.obj);
+    for j = non_artificial to t.ncols - 1 do
+      c2.(j) <- 0.0
+    done;
+    match run t c2 ~limit:non_artificial with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let x = Array.make t.nvars 0.0 in
+      Array.iteri
+        (fun r bj -> if bj < t.nvars then x.(bj) <- t.m.(r).(t.ncols))
+        t.basis;
+      Optimal { solution = x; value = objective_value t t.obj }
+  end
+
+let maximize objective constraints = solve { objective; constraints }

@@ -1,0 +1,38 @@
+(** Dense two-phase simplex solver.
+
+    Solves {e maximize} [c·x] subject to linear constraints and [x ≥ 0].
+    This is the substrate for zero-sum game values, maxmin/minmax levels and
+    punishment-strategy computation in the robustness and mediator
+    libraries. Sizes here are tiny (tens of variables), so a dense tableau
+    with Bland's anti-cycling rule is appropriate. *)
+
+type relation = Le | Ge | Eq
+(** Direction of a constraint row. *)
+
+type constraint_row = {
+  coeffs : float array;  (** One coefficient per structural variable. *)
+  relation : relation;
+  rhs : float;
+}
+
+type problem = {
+  objective : float array;  (** Maximized. One entry per variable. *)
+  constraints : constraint_row list;
+}
+
+type outcome =
+  | Optimal of { solution : float array; value : float }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome
+(** Two-phase simplex. All structural variables are implicitly ≥ 0; encode a
+    free variable as the difference of two non-negative ones. *)
+
+val maximize : float array -> constraint_row list -> outcome
+(** [maximize c rows] is [solve { objective = c; constraints = rows }]. *)
+
+val le : float array -> float -> constraint_row
+val ge : float array -> float -> constraint_row
+val eq : float array -> float -> constraint_row
+(** Row constructors. *)

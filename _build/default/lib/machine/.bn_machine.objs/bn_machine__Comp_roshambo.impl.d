@@ -1,0 +1,1 @@
+lib/machine/comp_roshambo.ml: Array Bn_game Bn_util List Machine Machine_game

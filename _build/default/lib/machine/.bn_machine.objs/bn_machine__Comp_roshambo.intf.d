@@ -1,0 +1,1 @@
+lib/machine/comp_roshambo.mli: Bn_game Machine_game

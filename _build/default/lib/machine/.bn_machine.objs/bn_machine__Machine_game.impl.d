@@ -1,0 +1,1 @@
+lib/machine/machine_game.ml: Array Bn_game Bn_util List Machine Option

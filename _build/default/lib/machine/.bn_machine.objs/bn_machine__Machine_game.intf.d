@@ -1,0 +1,1 @@
+lib/machine/machine_game.mli: Bn_game Bn_util Machine

@@ -1,0 +1,1 @@
+lib/machine/primality.ml: Array Bn_util List Machine Machine_game

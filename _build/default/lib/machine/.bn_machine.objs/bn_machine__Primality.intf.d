@@ -1,0 +1,1 @@
+lib/machine/primality.mli: Bn_util Machine_game

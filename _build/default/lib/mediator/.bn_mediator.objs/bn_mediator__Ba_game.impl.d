@@ -1,0 +1,1 @@
+lib/mediator/ba_game.ml: Array Bn_bayesian Bn_util Mediated Printf

@@ -1,0 +1,1 @@
+lib/mediator/ba_game.mli: Bn_bayesian Mediated

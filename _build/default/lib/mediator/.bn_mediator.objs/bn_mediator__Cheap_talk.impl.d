@@ -1,0 +1,1 @@
+lib/mediator/cheap_talk.ml: Array Ba_game Bn_byzantine Bn_crypto Bn_dist_sim Bn_util Fun List Mediated Option

@@ -1,0 +1,1 @@
+lib/mediator/cheap_talk.mli: Bn_util

@@ -1,0 +1,1 @@
+lib/mediator/feasibility.ml: Printf String

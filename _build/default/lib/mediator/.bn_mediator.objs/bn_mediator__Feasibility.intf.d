@@ -1,0 +1,1 @@
+lib/mediator/feasibility.mli:

@@ -1,0 +1,1 @@
+lib/mediator/mediated.ml: Array Bn_bayesian Bn_util Fun List

@@ -1,0 +1,1 @@
+lib/mediator/mediated.mli: Bn_bayesian Bn_util

@@ -1,0 +1,1 @@
+lib/mediator/rational_ss.ml: Array Bn_crypto Bn_util

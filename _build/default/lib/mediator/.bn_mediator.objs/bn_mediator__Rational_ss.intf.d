@@ -1,0 +1,1 @@
+lib/mediator/rational_ss.mli: Bn_util

@@ -1,0 +1,1 @@
+lib/mediator/sunspot.ml: Array Bn_crypto Bn_game Bn_util Float List

@@ -1,0 +1,1 @@
+lib/mediator/sunspot.mli: Bn_game Bn_util

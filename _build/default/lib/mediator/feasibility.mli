@@ -1,0 +1,47 @@
+(** The Abraham–Dolev–Gonen–Halpern characterization of when mediators can
+    be implemented by cheap talk (paper §2, the nine bullets).
+
+    [classify ~n ~k ~t assumptions] walks the thresholds in the order the
+    paper states them and returns the strongest implementation the regime
+    admits, or the impossibility that blocks it, together with the bullet
+    it comes from. *)
+
+type assumptions = {
+  utilities_known : bool;
+      (** Whether the protocol may depend on players' utility functions. *)
+  punishment : bool;  (** A (k+t)-punishment strategy exists. *)
+  broadcast : bool;  (** Broadcast channels are available. *)
+  crypto : bool;  (** Cryptography + polynomially-bounded players. *)
+  pki : bool;  (** A public-key infrastructure exists (implies crypto). *)
+}
+
+val no_assumptions : assumptions
+(** Everything false: bare cheap talk with unknown utilities. *)
+
+val all_assumptions : assumptions
+
+type running_time =
+  | Bounded  (** Fixed number of rounds, independent of utilities. *)
+  | Bounded_expected  (** Bounded expectation, independent of utilities. *)
+  | Finite_expected  (** Finite expectation, independent of utilities. *)
+  | Utility_dependent  (** Expectation necessarily depends on utilities/ε. *)
+
+type verdict =
+  | Implementable of {
+      exact : bool;  (** true = exact implementation, false = ε. *)
+      running_time : running_time;
+      needs : string list;  (** Assumptions the construction uses. *)
+      bullet : int;  (** Which of the paper's nine bullets (1-based). *)
+    }
+  | Impossible of { reason : string; bullet : int }
+
+val classify : n:int -> k:int -> t:int -> assumptions -> verdict
+(** Requires [n ≥ 1], [k ≥ 1], [t ≥ 0]: a (k,t)-robust equilibrium with
+    k = 0 is not an equilibrium notion ((1,0) is Nash).
+    @raise Invalid_argument otherwise. *)
+
+val describe : verdict -> string
+(** One-line rendering for tables. *)
+
+val bullet_text : int -> string
+(** The paper's statement being applied (abridged). *)

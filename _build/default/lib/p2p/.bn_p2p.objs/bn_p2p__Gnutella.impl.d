@@ -1,0 +1,1 @@
+lib/p2p/gnutella.ml: Array Bn_game Bn_util Float Fun List

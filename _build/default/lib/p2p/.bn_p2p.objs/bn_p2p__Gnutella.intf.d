@@ -1,0 +1,1 @@
+lib/p2p/gnutella.mli: Bn_game Bn_util

@@ -1,0 +1,1 @@
+lib/repeated/automaton.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/repeated/frpd.ml: Array Automaton Bn_game List Repeated

@@ -1,0 +1,1 @@
+lib/repeated/frpd.mli: Automaton Bn_game Repeated

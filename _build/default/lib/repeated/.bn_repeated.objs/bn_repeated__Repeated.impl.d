@@ -1,0 +1,1 @@
+lib/repeated/repeated.ml: Array Automaton Bn_util List

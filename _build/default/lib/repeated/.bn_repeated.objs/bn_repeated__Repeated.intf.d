@@ -1,0 +1,1 @@
+lib/repeated/repeated.mli: Automaton Bn_util

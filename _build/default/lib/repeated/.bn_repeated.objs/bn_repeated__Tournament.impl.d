@@ -1,0 +1,1 @@
+lib/repeated/tournament.ml: Array Automaton Bn_util List Repeated

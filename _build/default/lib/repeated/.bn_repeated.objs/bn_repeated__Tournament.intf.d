@@ -1,0 +1,1 @@
+lib/repeated/tournament.mli: Automaton Bn_util Repeated

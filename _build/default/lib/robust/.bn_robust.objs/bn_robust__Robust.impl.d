@@ -1,0 +1,1 @@
+lib/robust/robust.ml: Array Bn_game Bn_util Fmt Format Fun List Mixed Normal_form Printf String

@@ -1,0 +1,1 @@
+lib/robust/robust.mli: Bn_game Format

@@ -1,0 +1,218 @@
+open Bn_game
+
+type variant = Strong | Weak
+
+type violation = {
+  coalition : int list;
+  traitors : int list;
+  deviation : (int * int) list;
+  victim : int;
+  before : float;
+  after : float;
+}
+
+type verdict = Holds | Fails of violation
+
+let pp_violation ppf v =
+  let pp_set = Fmt.(list ~sep:comma int) in
+  Format.fprintf ppf "C={%a} T={%a} deviation=[%s] victim=%d: %.3f -> %.3f" pp_set
+    v.coalition pp_set v.traitors
+    (String.concat "; " (List.map (fun (i, a) -> Printf.sprintf "%d:%d" i a) v.deviation))
+    v.victim v.before v.after
+
+(* Apply a joint pure deviation to a mixed profile. *)
+let deviate g prof assignment =
+  let deviated = Array.copy prof in
+  List.iter
+    (fun (i, a) ->
+      deviated.(i) <- Mixed.pure ~num_actions:(Normal_form.num_actions g i) a)
+    assignment;
+  deviated
+
+exception Found of violation
+
+let baseline g prof = Array.init (Normal_form.n_players g) (Mixed.expected_payoff g prof)
+
+(* Quantify over disjoint C (≤ k) and T (≤ t) and joint pure deviations by
+   C ∪ T; call [test] with the deviated profile. [test] raises [Found] to
+   report a violation. *)
+let for_all_deviations g ~k ~t test =
+  let n = Normal_form.n_players g in
+  let dims = Normal_form.actions g in
+  let coalitions = if k = 0 then [ [] ] else [] :: Bn_util.Combin.subsets_up_to n k in
+  List.iter
+    (fun coalition ->
+      let rest = List.filter (fun i -> not (List.mem i coalition)) (List.init n Fun.id) in
+      let rest_count = List.length rest in
+      let traitor_sets =
+        if t = 0 then [ [] ]
+        else
+          [] ::
+          List.map
+            (List.map (fun idx -> List.nth rest idx))
+            (Bn_util.Combin.subsets_up_to rest_count (min t rest_count))
+      in
+      List.iter
+        (fun traitors ->
+          if coalition <> [] || traitors <> [] then
+            let members = coalition @ traitors in
+            List.iter
+              (fun assignment -> test ~coalition ~traitors assignment)
+              (Bn_util.Combin.joint_assignments members dims))
+        traitor_sets)
+    coalitions
+
+let check_resilience ?(variant = Strong) ?(eps = 1e-9) g prof ~k =
+  let base = baseline g prof in
+  try
+    for_all_deviations g ~k ~t:0 (fun ~coalition ~traitors:_ assignment ->
+        let deviated = deviate g prof assignment in
+        let gains =
+          List.map
+            (fun i ->
+              let after = Mixed.expected_payoff g deviated i in
+              (i, after, after > base.(i) +. eps))
+            coalition
+        in
+        let blocked =
+          match variant with
+          | Strong -> List.exists (fun (_, _, gained) -> gained) gains
+          | Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
+        in
+        if blocked then begin
+          let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
+          raise
+            (Found
+               {
+                 coalition;
+                 traitors = [];
+                 deviation = assignment;
+                 victim;
+                 before = base.(victim);
+                 after;
+               })
+        end);
+    Holds
+  with Found v -> Fails v
+
+let check_immunity ?(eps = 1e-9) g prof ~t =
+  let base = baseline g prof in
+  let n = Normal_form.n_players g in
+  try
+    for_all_deviations g ~k:0 ~t (fun ~coalition:_ ~traitors assignment ->
+        let deviated = deviate g prof assignment in
+        List.iter
+          (fun i ->
+            if not (List.mem i traitors) then begin
+              let after = Mixed.expected_payoff g deviated i in
+              if after < base.(i) -. eps then
+                raise
+                  (Found
+                     {
+                       coalition = [];
+                       traitors;
+                       deviation = assignment;
+                       victim = i;
+                       before = base.(i);
+                       after;
+                     })
+            end)
+          (List.init n Fun.id));
+    Holds
+  with Found v -> Fails v
+
+(* (k,t)-robustness combines two guarantees (ADGH):
+   - resilience side: no coalition C (|C| ≤ k) profits from a joint
+     deviation, even with the help of up to t arbitrarily-behaving players
+     T (quantified over joint deviations by C ∪ T);
+   - immunity side: deviations by up to t players alone never hurt a
+     non-deviator. The immunity condition concerns only the faulty set T —
+     rational players follow the equilibrium, so outsiders need no
+     protection from C; this is what makes (1,0)-robustness coincide
+     exactly with Nash equilibrium. *)
+let check_robustness ?(variant = Strong) ?(eps = 1e-9) g prof ~k ~t =
+  let base = baseline g prof in
+  match check_immunity ~eps g prof ~t with
+  | Fails v -> Fails v
+  | Holds -> (
+    try
+      for_all_deviations g ~k ~t (fun ~coalition ~traitors assignment ->
+          let deviated = deviate g prof assignment in
+          let gains =
+            List.map
+              (fun i ->
+                let after = Mixed.expected_payoff g deviated i in
+                (i, after, after > base.(i) +. eps))
+              coalition
+          in
+          let blocked =
+            match variant with
+            | Strong -> List.exists (fun (_, _, gained) -> gained) gains
+            | Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
+          in
+          if blocked then begin
+            let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
+            raise
+              (Found
+                 { coalition; traitors; deviation = assignment; victim;
+                   before = base.(victim); after })
+          end);
+      Holds
+    with Found v -> Fails v)
+
+let is_k_resilient ?variant ?eps g prof ~k =
+  match check_resilience ?variant ?eps g prof ~k with Holds -> true | Fails _ -> false
+
+let is_t_immune ?eps g prof ~t =
+  match check_immunity ?eps g prof ~t with Holds -> true | Fails _ -> false
+
+let is_robust ?variant ?eps g prof ~k ~t =
+  match check_robustness ?variant ?eps g prof ~k ~t with Holds -> true | Fails _ -> false
+
+let max_resilience ?variant ?eps g prof =
+  let n = Normal_form.n_players g in
+  let rec go k = if k >= n then n else if is_k_resilient ?variant ?eps g prof ~k:(k + 1) then go (k + 1) else k in
+  go 0
+
+let max_immunity ?eps g prof =
+  let n = Normal_form.n_players g in
+  let rec go t = if t >= n then n else if is_t_immune ?eps g prof ~t:(t + 1) then go (t + 1) else t in
+  go 0
+
+let robust_pure_equilibria ?variant ?eps g ~k ~t =
+  let acc = ref [] in
+  Normal_form.iter_profiles g (fun p ->
+      let prof = Mixed.pure_profile g p in
+      if is_robust ?variant ?eps g prof ~k ~t then acc := Array.copy p :: !acc);
+  List.rev !acc
+
+let find_punishment ?(eps = 1e-9) g ~target ~budget =
+  let n = Normal_form.n_players g in
+  if Array.length target <> n then invalid_arg "Robust.find_punishment: target arity";
+  let qualifies rho =
+    let prof = Mixed.pure_profile g rho in
+    (* Every player strictly below target even at the base profile... *)
+    let ok = ref true in
+    (try
+       (* Deviations by any ≤ budget players (they may also be punished
+          players trying to escape). *)
+       let check deviated =
+         for i = 0 to n - 1 do
+           if Mixed.expected_payoff g deviated i >= target.(i) -. eps then raise Exit
+         done
+       in
+       check prof;
+       for_all_deviations g ~k:budget ~t:0 (fun ~coalition:_ ~traitors:_ assignment ->
+           check (deviate g prof assignment))
+     with Exit -> ok := false);
+    !ok
+  in
+  let result = ref None in
+  (try
+     Normal_form.iter_profiles g (fun p ->
+         if qualifies p then begin
+           result := Some (Array.copy p);
+           raise Exit
+         end)
+   with Exit -> ());
+  !result

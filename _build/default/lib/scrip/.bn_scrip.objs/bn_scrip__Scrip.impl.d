@@ -1,0 +1,1 @@
+lib/scrip/scrip.ml: Array Bn_util Fun List

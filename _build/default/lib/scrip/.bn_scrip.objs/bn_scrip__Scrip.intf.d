@@ -1,0 +1,1 @@
+lib/scrip/scrip.mli: Bn_util

@@ -1,0 +1,115 @@
+type kind = Standard of int | Hoarder | Altruist
+
+type params = {
+  n : int;
+  rounds : int;
+  benefit : float;
+  cost : float;
+}
+
+let default_params ~n = { n; rounds = 100 * n; benefit = 1.0; cost = 0.2 }
+
+type stats = {
+  utilities : float array;
+  satisfied : int;
+  requests : int;
+  starved : int;
+  unserved : int;
+  final_scrip : int array;
+}
+
+let simulate rng params ~kinds ~money_per_agent =
+  let { n; rounds; benefit; cost } = params in
+  if Array.length kinds <> n then invalid_arg "Scrip.simulate: kinds arity";
+  let scrip = Array.make n 0 in
+  let total_money = int_of_float (money_per_agent *. float_of_int n) in
+  for unit = 0 to total_money - 1 do
+    scrip.(unit mod n) <- scrip.(unit mod n) + 1
+  done;
+  let utilities = Array.make n 0.0 in
+  let satisfied = ref 0 and requests = ref 0 and starved = ref 0 and unserved = ref 0 in
+  for _ = 1 to rounds do
+    let chooser = Bn_util.Prng.int rng n in
+    let wants = match kinds.(chooser) with Hoarder -> false | Standard _ | Altruist -> true in
+    if wants then begin
+      incr requests;
+      if scrip.(chooser) < 1 then incr starved
+      else begin
+        let willing =
+          List.filter
+            (fun i ->
+              i <> chooser
+              &&
+              match kinds.(i) with
+              | Standard k -> scrip.(i) < k
+              | Hoarder | Altruist -> true)
+            (List.init n Fun.id)
+        in
+        match willing with
+        | [] -> incr unserved
+        | _ ->
+          let volunteer = List.nth willing (Bn_util.Prng.int rng (List.length willing)) in
+          incr satisfied;
+          utilities.(chooser) <- utilities.(chooser) +. benefit;
+          utilities.(volunteer) <- utilities.(volunteer) -. cost;
+          (match kinds.(volunteer) with
+          | Altruist -> ()
+          | Standard _ | Hoarder ->
+            scrip.(chooser) <- scrip.(chooser) - 1;
+            scrip.(volunteer) <- scrip.(volunteer) + 1)
+      end
+    end
+  done;
+  {
+    utilities;
+    satisfied = !satisfied;
+    requests = !requests;
+    starved = !starved;
+    unserved = !unserved;
+    final_scrip = scrip;
+  }
+
+let efficiency params stats =
+  if params.rounds = 0 then 0.0
+  else float_of_int stats.satisfied /. float_of_int params.rounds
+
+let avg_utility stats ~who =
+  let selected =
+    List.filteri (fun i _ -> who i) (Array.to_list stats.utilities)
+  in
+  Bn_util.Stats.mean selected
+
+let best_threshold rng params ~others ~money_per_agent ~candidates =
+  let seed_base = Bn_util.Prng.int rng 1_000_000 in
+  let evaluate candidate =
+    (* Common random numbers: same seed for every candidate. *)
+    let local = Bn_util.Prng.create (seed_base * 7919) in
+    let kinds =
+      Array.init params.n (fun i -> if i = 0 then Standard candidate else Standard others)
+    in
+    let stats = simulate local params ~kinds ~money_per_agent in
+    stats.utilities.(0)
+  in
+  match candidates with
+  | [] -> invalid_arg "Scrip.best_threshold: no candidates"
+  | c0 :: rest ->
+    List.fold_left
+      (fun (bc, bu) c ->
+        let u = evaluate c in
+        if u > bu then (c, u) else (bc, bu))
+      (c0, evaluate c0) rest
+
+let symmetric_equilibrium rng params ~money_per_agent ~candidates =
+  (* Iterate the empirical best-response map from the middle candidate until
+     a fixed point or a short cycle; return the fixed point if found. *)
+  let start = List.nth candidates (List.length candidates / 2) in
+  let rec go k visited steps =
+    if steps > 12 then None
+    else begin
+      let k', _ = best_threshold rng params ~others:k ~money_per_agent ~candidates in
+      if k' = k then Some k
+      else if List.mem k' visited then None
+      else go k' (k' :: visited) (steps + 1)
+    end
+  in
+  go start [ start ] 0

@@ -1,0 +1,1 @@
+test/test_awareness.ml: Alcotest Array Beyond_nash List QCheck QCheck_alcotest

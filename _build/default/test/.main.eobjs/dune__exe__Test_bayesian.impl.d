@@ -1,0 +1,1 @@
+test/test_bayesian.ml: Alcotest Array Beyond_nash Float List QCheck QCheck_alcotest

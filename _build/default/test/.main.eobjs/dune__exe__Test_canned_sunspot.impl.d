@@ -1,0 +1,1 @@
+test/test_canned_sunspot.ml: Alcotest Array Beyond_nash Float Hashtbl List Printf QCheck QCheck_alcotest String

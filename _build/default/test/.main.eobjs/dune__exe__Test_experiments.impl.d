@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Bn_experiments Fun List Printf Unix

@@ -1,0 +1,1 @@
+test/test_extensive.ml: Alcotest Array Beyond_nash Gen List QCheck QCheck_alcotest String

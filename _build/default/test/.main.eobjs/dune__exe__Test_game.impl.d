@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Beyond_nash Float Gen List QCheck QCheck_alcotest

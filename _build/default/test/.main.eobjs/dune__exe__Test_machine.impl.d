@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Beyond_nash Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mediator.ml: Alcotest Array Beyond_nash List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocols2.ml: Alcotest Array Beyond_nash Float Fun Printf QCheck QCheck_alcotest

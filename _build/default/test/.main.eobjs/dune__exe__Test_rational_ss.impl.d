@@ -1,0 +1,1 @@
+test/test_rational_ss.ml: Alcotest Array Beyond_nash Float Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rationalizable_parse.ml: Alcotest Array Beyond_nash Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_repeated.ml: Alcotest Beyond_nash Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_robust.ml: Alcotest Array Beyond_nash Gen List QCheck QCheck_alcotest

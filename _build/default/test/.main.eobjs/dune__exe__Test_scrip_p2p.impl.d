@@ -1,0 +1,1 @@
+test/test_scrip_p2p.ml: Alcotest Array Beyond_nash QCheck QCheck_alcotest

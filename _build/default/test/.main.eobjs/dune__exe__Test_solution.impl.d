@@ -1,0 +1,1 @@
+test/test_solution.ml: Alcotest Array Beyond_nash Format List

@@ -1,0 +1,131 @@
+module S = Beyond_nash.Simplex
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let solve_or_fail problem =
+  match S.solve problem with
+  | S.Optimal { solution; value } -> (solution, value)
+  | S.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_basic_le () =
+  (* max 3x + 2y st x + y <= 4, x <= 2 -> x=2, y=2, value 10 *)
+  let x, v = solve_or_fail { S.objective = [| 3.0; 2.0 |]; constraints = [ S.le [| 1.0; 1.0 |] 4.0; S.le [| 1.0; 0.0 |] 2.0 ] } in
+  check_float "value" 10.0 v;
+  check_float "x" 2.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_with_ge () =
+  (* max x st x <= 5, x >= 2 *)
+  let _, v = solve_or_fail { S.objective = [| 1.0 |]; constraints = [ S.le [| 1.0 |] 5.0; S.ge [| 1.0 |] 2.0 ] } in
+  check_float "value" 5.0 v
+
+let test_minimize_via_negation () =
+  (* min x st x >= 3  ==  max -x *)
+  let x, v = solve_or_fail { S.objective = [| -1.0 |]; constraints = [ S.ge [| 1.0 |] 3.0 ] } in
+  check_float "value" (-3.0) v;
+  check_float "x" 3.0 x.(0)
+
+let test_equality () =
+  (* max x + y st x + y = 3, x <= 1 -> value 3 with x <= 1 *)
+  let x, v = solve_or_fail { S.objective = [| 1.0; 1.0 |]; constraints = [ S.eq [| 1.0; 1.0 |] 3.0; S.le [| 1.0; 0.0 |] 1.0 ] } in
+  check_float "value" 3.0 v;
+  Alcotest.(check bool) "x within bound" true (x.(0) <= 1.0 +. 1e-9)
+
+let test_infeasible () =
+  match S.solve { S.objective = [| 1.0 |]; constraints = [ S.le [| 1.0 |] 1.0; S.ge [| 1.0 |] 2.0 ] } with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "should be infeasible"
+
+let test_unbounded () =
+  match S.solve { S.objective = [| 1.0 |]; constraints = [ S.ge [| 1.0 |] 0.0 ] } with
+  | S.Unbounded -> ()
+  | S.Optimal _ | S.Infeasible -> Alcotest.fail "should be unbounded"
+
+let test_negative_rhs_normalization () =
+  (* x >= -1 written as -x <= 1; max -x st -x <= 1 -> 1 at x... careful:
+     variables are nonneg, so max -x is 0 at x = 0. *)
+  let _, v = solve_or_fail { S.objective = [| -1.0 |]; constraints = [ S.le [| -1.0 |] 1.0 ] } in
+  check_float "value" 0.0 v
+
+let test_degenerate_no_cycle () =
+  (* Classic degenerate LP; Bland's rule must terminate. *)
+  let problem =
+    {
+      S.objective = [| 10.0; -57.0; -9.0; -24.0 |];
+      constraints =
+        [
+          S.le [| 0.5; -5.5; -2.5; 9.0 |] 0.0;
+          S.le [| 0.5; -1.5; -0.5; 1.0 |] 0.0;
+          S.le [| 1.0; 0.0; 0.0; 0.0 |] 1.0;
+        ];
+    }
+  in
+  let _, v = solve_or_fail problem in
+  check_float "beale value" 1.0 v
+
+let test_zero_objective () =
+  let _, v = solve_or_fail { S.objective = [| 0.0; 0.0 |]; constraints = [ S.le [| 1.0; 1.0 |] 1.0 ] } in
+  check_float "value" 0.0 v
+
+let feasibility_property =
+  QCheck.Test.make ~count:200 ~name:"simplex: optimal solutions are feasible"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 4)
+           (pair (array_of_size (Gen.return 2) (float_range (-5.0) 5.0)) (float_range 0.0 10.0)))
+        (array_of_size (Gen.return 2) (float_range (-3.0) 3.0)))
+    (fun (rows, objective) ->
+      let constraints = List.map (fun (c, b) -> S.le c b) rows in
+      match S.solve { S.objective; constraints } with
+      | S.Infeasible -> false (* all-le with b >= 0 is feasible at 0 *)
+      | S.Unbounded -> true
+      | S.Optimal { solution; _ } ->
+        Array.for_all (fun x -> x >= -1e-7) solution
+        && List.for_all
+             (fun (c, b) ->
+               let lhs = ref 0.0 in
+               Array.iteri (fun i ci -> lhs := !lhs +. (ci *. solution.(i))) c;
+               !lhs <= b +. 1e-6)
+             rows)
+
+let optimality_property =
+  QCheck.Test.make ~count:200 ~name:"simplex: value >= any sampled feasible point"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 3)
+           (pair (array_of_size (Gen.return 2) (float_range 0.1 5.0)) (float_range 1.0 10.0)))
+        (array_of_size (Gen.return 2) (float_range 0.0 3.0)))
+    (fun (rows, objective) ->
+      let constraints = List.map (fun (c, b) -> S.le c b) rows in
+      match S.solve { S.objective; constraints } with
+      | S.Infeasible | S.Unbounded -> false (* positive coeffs: bounded, feasible *)
+      | S.Optimal { value; _ } ->
+        (* Candidate feasible points on a grid must not beat the optimum. *)
+        let ok = ref true in
+        for i = 0 to 10 do
+          for j = 0 to 10 do
+            let x = float_of_int i /. 2.0 and y = float_of_int j /. 2.0 in
+            let feasible =
+              List.for_all (fun (c, b) -> (c.(0) *. x) +. (c.(1) *. y) <= b) rows
+            in
+            if feasible && (objective.(0) *. x) +. (objective.(1) *. y) > value +. 1e-6 then
+              ok := false
+          done
+        done;
+        !ok)
+
+let suite =
+  [
+    Alcotest.test_case "basic <=" `Quick test_basic_le;
+    Alcotest.test_case "with >=" `Quick test_with_ge;
+    Alcotest.test_case "minimize" `Quick test_minimize_via_negation;
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+    Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate_no_cycle;
+    Alcotest.test_case "zero objective" `Quick test_zero_objective;
+    QCheck_alcotest.to_alcotest feasibility_property;
+    QCheck_alcotest.to_alcotest optimality_property;
+  ]

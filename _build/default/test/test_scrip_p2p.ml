@@ -1,0 +1,152 @@
+module B = Beyond_nash
+module S = B.Scrip
+module G = B.Gnutella
+
+(* {1 Scrip} *)
+
+let params n = S.default_params ~n
+
+let all_standard n k = Array.make n (S.Standard k)
+
+let test_money_conserved () =
+  (* Without altruists, scrip only changes hands. *)
+  let rng = B.Prng.create 1 in
+  let n = 20 in
+  let st = S.simulate rng (params n) ~kinds:(all_standard n 5) ~money_per_agent:2.0 in
+  Alcotest.(check int) "total scrip conserved" 40 (Array.fold_left ( + ) 0 st.S.final_scrip)
+
+let test_efficiency_inverted_u () =
+  (* Efficiency rises with money, then crashes when everyone is above
+     threshold and nobody volunteers (the KFH monetary crash). *)
+  let run m =
+    let rng = B.Prng.create 2 in
+    S.efficiency (params 30) (S.simulate rng (params 30) ~kinds:(all_standard 30 5) ~money_per_agent:m)
+  in
+  let low = run 0.5 and mid = run 3.0 and crash = run 6.0 in
+  Alcotest.(check bool) "more money helps" true (mid > low);
+  Alcotest.(check bool) "too much money crashes" true (crash < 0.2)
+
+let test_crash_mechanism () =
+  (* At money >= threshold for everyone, no volunteers ever. *)
+  let rng = B.Prng.create 3 in
+  let st = S.simulate rng (params 10) ~kinds:(all_standard 10 3) ~money_per_agent:3.0 in
+  Alcotest.(check int) "nothing served" 0 st.S.satisfied;
+  Alcotest.(check bool) "all demand unserved" true (st.S.unserved > 0)
+
+let test_altruists_raise_welfare () =
+  let n = 20 in
+  let run kinds =
+    let rng = B.Prng.create 4 in
+    let st = S.simulate rng (params n) ~kinds ~money_per_agent:1.0 in
+    S.avg_utility st ~who:(fun i -> match kinds.(i) with S.Standard _ -> true | _ -> false)
+  in
+  let base = run (all_standard n 5) in
+  let with_altruists =
+    run (Array.init n (fun i -> if i < 3 then S.Altruist else S.Standard 5))
+  in
+  Alcotest.(check bool) "altruists help the rest" true (with_altruists > base)
+
+let test_hoarders_drain_money () =
+  (* Hoarders accumulate scrip and never spend: the money available to
+     standard agents shrinks. *)
+  let n = 20 in
+  let rng = B.Prng.create 5 in
+  let kinds = Array.init n (fun i -> if i < 4 then S.Hoarder else S.Standard 5) in
+  let st = S.simulate rng (params n) ~kinds ~money_per_agent:2.0 in
+  let hoarder_scrip = Array.fold_left ( + ) 0 (Array.sub st.S.final_scrip 0 4) in
+  Alcotest.(check bool) "hoarders hold above initial share" true (hoarder_scrip > 8);
+  Alcotest.(check bool) "standard agents starve more" true (st.S.starved > 0)
+
+let test_stats_accounting () =
+  let rng = B.Prng.create 6 in
+  let st = S.simulate rng (params 10) ~kinds:(all_standard 10 5) ~money_per_agent:2.0 in
+  Alcotest.(check int) "requests = satisfied + starved + unserved" st.S.requests
+    (st.S.satisfied + st.S.starved + st.S.unserved)
+
+let test_best_threshold_moderate () =
+  (* The empirical best response is an interior threshold: not 1, since
+     being broke starves you; and bounded. *)
+  let rng = B.Prng.create 7 in
+  let k, _ = S.best_threshold rng (params 30) ~others:5 ~money_per_agent:2.0
+      ~candidates:[ 1; 2; 3; 5; 8; 12; 20 ]
+  in
+  Alcotest.(check bool) "interior threshold" true (k > 1 && k <= 20)
+
+let scrip_utility_sign_property =
+  QCheck.Test.make ~count:20 ~name:"scrip: benefit > cost makes utilities net positive overall"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let n = 10 in
+      let rng = B.Prng.create seed in
+      let st = S.simulate rng (params n) ~kinds:(all_standard n 4) ~money_per_agent:2.0 in
+      (* Every served request adds benefit - cost = 0.8 > 0 to the total. *)
+      let total = Array.fold_left ( +. ) 0.0 st.S.utilities in
+      total >= 0.0)
+
+(* {1 Gnutella} *)
+
+let test_free_riding_shape () =
+  let rng = B.Prng.create 8 in
+  let s = G.simulate rng (G.default_params ~users:2000) in
+  Alcotest.(check bool) "~70% free riders" true
+    (s.G.free_rider_fraction > 0.55 && s.G.free_rider_fraction < 0.85);
+  Alcotest.(check bool) "top 1% serves ~half" true
+    (s.G.top1_response_share > 0.3 && s.G.top1_response_share < 0.8);
+  Alcotest.(check bool) "load is concentrated" true (s.G.gini_load > 0.8)
+
+let test_cost_increases_free_riding () =
+  let run cost =
+    let rng = B.Prng.create 9 in
+    let p = { (G.default_params ~users:2000) with G.cost } in
+    (G.simulate rng p).G.free_rider_fraction
+  in
+  Alcotest.(check bool) "higher cost, more free riding" true (run 2.0 > run 0.5)
+
+let test_sharing_game_dominance () =
+  Alcotest.(check bool) "free riding dominant for standard users" true
+    (G.free_riding_equilibrium ~n:4 ~cost:1.0 ~download_value:5.0)
+
+let test_sharing_game_with_kicks () =
+  (* A user whose kick exceeds the cost shares in equilibrium. *)
+  let kicks = [| 2.0; 0.0; 0.0 |] in
+  let g = G.sharing_game ~n:3 ~cost:1.0 ~kicks ~download_value:5.0 in
+  match B.Dominance.solves_by_dominance g with
+  | Some profile ->
+    Alcotest.(check int) "kicked user shares" 1 profile.(0);
+    Alcotest.(check int) "standard user free rides" 0 profile.(1)
+  | None -> Alcotest.fail "dominance-solvable with strict kicks"
+
+let test_sharing_game_is_nash () =
+  let kicks = [| 2.0; 0.0; 0.0 |] in
+  let g = G.sharing_game ~n:3 ~cost:1.0 ~kicks ~download_value:5.0 in
+  Alcotest.(check bool) "share/freeride/freeride is Nash" true
+    (B.Nash.is_pure_nash g [| 1; 0; 0 |])
+
+let gnutella_fraction_bounds_property =
+  QCheck.Test.make ~count:10 ~name:"gnutella: fractions are probabilities"
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let rng = B.Prng.create seed in
+      let s = G.simulate rng (G.default_params ~users:500) in
+      s.G.free_rider_fraction >= 0.0 && s.G.free_rider_fraction <= 1.0
+      && s.G.top1_response_share >= 0.0
+      && s.G.top1_response_share <= 1.0
+      && s.G.top10_response_share >= s.G.top1_response_share -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "scrip: money conserved" `Quick test_money_conserved;
+    Alcotest.test_case "scrip: inverted U" `Slow test_efficiency_inverted_u;
+    Alcotest.test_case "scrip: crash mechanism" `Quick test_crash_mechanism;
+    Alcotest.test_case "scrip: altruists" `Slow test_altruists_raise_welfare;
+    Alcotest.test_case "scrip: hoarders" `Quick test_hoarders_drain_money;
+    Alcotest.test_case "scrip: accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "scrip: best threshold" `Slow test_best_threshold_moderate;
+    QCheck_alcotest.to_alcotest scrip_utility_sign_property;
+    Alcotest.test_case "gnutella: free-riding shape" `Quick test_free_riding_shape;
+    Alcotest.test_case "gnutella: cost effect" `Quick test_cost_increases_free_riding;
+    Alcotest.test_case "gnutella: dominance" `Quick test_sharing_game_dominance;
+    Alcotest.test_case "gnutella: kicks" `Quick test_sharing_game_with_kicks;
+    Alcotest.test_case "gnutella: Nash" `Quick test_sharing_game_is_nash;
+    QCheck_alcotest.to_alcotest gnutella_fraction_bounds_property;
+  ]
