@@ -4,7 +4,17 @@
 
 module B = Beyond_nash
 
-let experiments () = Bn_experiments.Experiments.run_all ()
+(* [-j N] picks the domain budget for the experiment tables and the
+   parallel kernels; results are bit-identical for every N. *)
+let jobs =
+  let rec scan = function
+    | "-j" :: n :: _ | "--jobs" :: n :: _ -> int_of_string n
+    | _ :: rest -> scan rest
+    | [] -> Domain.recommended_domain_count ()
+  in
+  scan (Array.to_list Sys.argv)
+
+let experiments () = Bn_experiments.Experiments.run_all ~jobs ()
 
 (* {1 Bechamel microbenchmarks} *)
 
@@ -24,6 +34,24 @@ let bench_robust_check =
   let prof = B.Mixed.pure_profile g (Array.make 5 0) in
   Test.make ~name:"robust/2-resilience-n5"
     (Staged.stage (fun () -> ignore (B.Robust.is_k_resilient g prof ~k:2)))
+
+(* Serial vs. parallel rows for the same kernel, so BENCH json tracks the
+   multicore speedup alongside the serial baseline. The bargaining all-stay
+   profile IS 3-resilient, so the check enumerates every coalition and
+   deviation — no early exit — which is the workload worth parallelizing.
+   (On a single-core box the parallel row only measures pool overhead.) *)
+let robust_speedup_game = B.Games.bargaining 8
+let robust_speedup_prof = B.Mixed.pure_profile robust_speedup_game (Array.make 8 0)
+
+let bench_robust_serial =
+  Test.make ~name:"robust/3-resilience-n8-serial"
+    (Staged.stage (fun () ->
+         ignore (B.Robust.is_k_resilient robust_speedup_game robust_speedup_prof ~k:3)))
+
+let bench_robust_parallel =
+  Test.make ~name:"robust/3-resilience-n8-parallel"
+    (Staged.stage (fun () ->
+         ignore (B.Robust.is_k_resilient ~jobs robust_speedup_game robust_speedup_prof ~k:3)))
 
 let bench_shamir =
   let rng = B.Prng.create 1 in
@@ -88,6 +116,8 @@ let microbenches =
       bench_nash_support_enum;
       bench_zero_sum_lp;
       bench_robust_check;
+      bench_robust_serial;
+      bench_robust_parallel;
       bench_shamir;
       bench_berlekamp_welch;
       bench_eig;
@@ -124,6 +154,36 @@ let run_microbenches () =
     rows;
   B.Tab.print tab
 
+(* Wall-clock serial-vs-parallel comparison of the robustness kernel: the
+   headline number for the Pool fast path (bechamel's per-run OLS rows
+   above feed BENCH json; this table is the human-readable speedup). *)
+let run_speedup_table () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let tab =
+    B.Tab.create ~title:"robustness kernel: serial vs parallel"
+      [ "kernel"; "serial"; Printf.sprintf "parallel (-j %d)" jobs; "speedup"; "agree" ]
+  in
+  let serial_r, serial_t =
+    wall (fun () -> B.Robust.is_k_resilient robust_speedup_game robust_speedup_prof ~k:3)
+  in
+  let par_r, par_t =
+    wall (fun () -> B.Robust.is_k_resilient ~jobs robust_speedup_game robust_speedup_prof ~k:3)
+  in
+  B.Tab.add_row tab
+    [
+      "robust/3-resilience-n8";
+      Printf.sprintf "%.1f ms" (serial_t *. 1e3);
+      Printf.sprintf "%.1f ms" (par_t *. 1e3);
+      Printf.sprintf "%.2fx" (serial_t /. par_t);
+      string_of_bool (serial_r = par_r);
+    ];
+  B.Tab.print tab
+
 let () =
   experiments ();
+  run_speedup_table ();
   run_microbenches ()

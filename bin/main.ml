@@ -12,22 +12,31 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the experiments (E1-E12).") Term.(const run $ const ())
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run parallel loops on $(docv) domains (default: the hardware's \
+           recommended domain count). Output is bit-identical for every $(docv).")
+
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E3).") in
-  let run id =
-    match Bn_experiments.Experiments.find id with
-    | Some (name, title, run) ->
-      Printf.printf "######## %s: %s ########\n\n" name title;
-      run ();
+  let run id jobs =
+    match Bn_experiments.Experiments.render ~jobs id with
+    | Some transcript ->
+      print_string transcript;
       `Ok ()
     | None -> `Error (false, Printf.sprintf "unknown experiment %S; try `list`" id)
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment.") Term.(ret (const run $ id))
+  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment.") Term.(ret (const run $ id $ jobs_arg))
 
 let all_cmd =
+  let run jobs = Bn_experiments.Experiments.run_all ~jobs () in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (same output as bench/main.exe minus microbenches).")
-    Term.(const Bn_experiments.Experiments.run_all $ const ())
+    Term.(const run $ jobs_arg)
 
 let classify_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Number of players.") in

@@ -49,7 +49,7 @@ let () =
   List.iter
     (fun bits ->
       let spec = B.Primality.default_spec ~bits ~cost_per_op:0.05 in
-      let best = B.Primality.machine_names.(B.Primality.equilibrium_choice (B.Prng.split rng) spec) in
+      let best = B.Primality.machine_names.(B.Primality.equilibrium_choice (B.Prng.split rng bits) spec) in
       Printf.printf "%2d-bit inputs: computational equilibrium machine = %s\n" bits best)
     [ 8; 16; 24; 32; 40 ];
 

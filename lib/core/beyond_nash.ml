@@ -14,6 +14,8 @@
 
 (* Utilities *)
 module Prng = Bn_util.Prng
+module Pool = Bn_util.Pool
+module Out = Bn_util.Out
 module Dist = Bn_util.Dist
 module Linalg = Bn_util.Linalg
 module Combin = Bn_util.Combin

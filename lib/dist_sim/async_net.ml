@@ -57,3 +57,10 @@ let run ?(max_steps = 100_000) ~n ~scheduler process =
     steps = !steps;
     undelivered = List.length !pending;
   }
+
+let run_scenarios ?max_steps ?(pool = Bn_util.Pool.serial) ~n schedulers process =
+  (* Each scenario builds its scheduler on its own domain (schedulers may
+     carry private mutable state, e.g. [delayer]'s budget), and every run
+     is an independent simulation, so results are scenario-order
+     deterministic for any pool size. *)
+  Bn_util.Pool.map pool (fun mk -> run ?max_steps ~n ~scheduler:(mk ()) process) schedulers

@@ -47,3 +47,15 @@ val run :
   int result
 (** Runs until every process has decided, no messages are pending, or
     [max_steps] (default 100_000) deliveries have happened. *)
+
+val run_scenarios :
+  ?max_steps:int ->
+  ?pool:Bn_util.Pool.t ->
+  n:int ->
+  (unit -> 'm scheduler) list ->
+  ('s, 'm) process ->
+  int result list
+(** [run_scenarios ~pool ~n makers process] runs one independent simulation
+    per scheduler thunk, in parallel on [pool] (default serial), returning
+    results in input order. Thunks are invoked on the worker domain so
+    stateful schedulers (like {!delayer}) get private state per scenario. *)

@@ -11,8 +11,8 @@ module G = B.Gnutella
 let name = "E10"
 let title = "Gnutella free riding: dominant strategy + population shape"
 
-let run () =
-  Printf.printf
+let run ?jobs:_ () =
+  B.Out.printf
     "analytic game (n=4, standard utilities): all-free-ride is the unique outcome of\n\
      iterated strict dominance = %b\n\n"
     (G.free_riding_equilibrium ~n:4 ~cost:1.0 ~download_value:5.0);
@@ -41,9 +41,9 @@ let run () =
   let g = G.sharing_game ~n:4 ~cost:1.0 ~kicks ~download_value:5.0 in
   (match B.Dominance.solves_by_dominance g with
   | Some profile ->
-    Printf.printf
+    B.Out.printf
       "with one enthusiast (kick 2.0 > cost 1.0): dominance solves to [%s] — the enthusiast\n\
        shares, everyone else free rides (the paper's reading of the sharing hosts)\n\n"
       (String.concat ";"
          (List.map (fun a -> if a = 1 then "share" else "freeride") (Array.to_list profile)))
-  | None -> print_endline "unexpected: not dominance-solvable\n")
+  | None -> B.Out.print_endline "unexpected: not dominance-solvable\n")

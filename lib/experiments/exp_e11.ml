@@ -11,7 +11,7 @@ module S = B.Scrip
 let name = "E11"
 let title = "scrip systems: efficiency, crashes, hoarders, altruists"
 
-let run () =
+let run ?jobs:_ () =
   let n = 40 in
   let params = S.default_params ~n in
   let threshold = 5 in
@@ -32,7 +32,7 @@ let run () =
         ])
     [ 0.5; 1.0; 2.0; 3.0; 4.0; 4.5; 5.0; 6.0 ];
   B.Tab.print tab;
-  print_endline
+  B.Out.print_endline
     "shape check: efficiency rises with the money supply and crashes once money/agent reaches\n\
      the threshold (nobody volunteers) — the KFH monetary crash.\n";
   (* Hoarders and altruists. *)
@@ -57,7 +57,7 @@ let run () =
   run_mix "34 standard + 6 hoarders"
     (Array.init n (fun i -> if i < 6 then S.Hoarder else S.Standard threshold));
   B.Tab.print tab2;
-  print_endline
+  B.Out.print_endline
     "shape check: altruists raise everyone else's welfare (free service, scrip untouched);\n\
      hoarders soak up scrip and leave standard agents starved more often.\n";
   (* Threshold best responses. *)
@@ -75,6 +75,6 @@ let run () =
       B.Tab.add_row tab3 [ string_of_int k; string_of_int bt; B.Tab.fmt_float bu ])
     [ 2; 5; 8; 12 ];
   B.Tab.print tab3;
-  print_endline
+  B.Out.print_endline
     "shape check: best responses are interior thresholds — the threshold-strategy equilibrium\n\
      structure KFH prove; hoarding (huge k) is a recognizable deviation, not a best reply.\n"

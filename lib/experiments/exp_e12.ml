@@ -13,7 +13,7 @@ module A = B.Automaton
 let name = "E12"
 let title = "Axelrod tournament (classic field, 200 rounds)"
 
-let run () =
+let run ?jobs:_ () =
   let entries = T.round_robin ~stage:B.Repeated.pd_classic ~rounds:200 T.default_field in
   let tab = B.Tab.create ~title [ "rank"; "automaton"; "states"; "score"; "cooperation rate" ] in
   List.iteri
@@ -81,7 +81,7 @@ let run () =
     { B.Frpd.stage = B.Repeated.pd_paper; horizon = 20; delta = 0.95; memory_cost = 0.0 }
   in
   let bounded_space = [ A.all_d; A.grim; A.tit_for_tat; A.pavlov ] in
-  Printf.printf
+  B.Out.printf
     "bounded-automaton space (no round counters), mu=0: (TfT,TfT) equilibrium = %b,\n\
      (Grim,Grim) equilibrium = %b — cooperation without memory charges, Neyman-style.\n\n"
     (B.Frpd.is_equilibrium ~space:bounded_space spec A.tit_for_tat)

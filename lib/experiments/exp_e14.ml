@@ -14,11 +14,12 @@ module R = B.Rational_ss
 let name = "E14"
 let title = "rational secret sharing: equilibrium region and expected rounds"
 
-let run () =
+let run ?(jobs = 1) () =
+  let pool = B.Pool.create ~domains:jobs () in
   let u = R.default_utility in
   let n = 3 in
   let bound = R.honest_equilibrium_alpha u ~n in
-  Printf.printf "utility: learn = %.1f, exclusivity = %.1f, n = %d -> equilibrium iff alpha <= %.4f\n\n"
+  B.Out.printf "utility: learn = %.1f, exclusivity = %.1f, n = %d -> equilibrium iff alpha <= %.4f\n\n"
     u.R.learn u.R.exclusivity n bound;
   let tab =
     B.Tab.create ~title
@@ -28,7 +29,7 @@ let run () =
   List.iter
     (fun alpha ->
       let analytic = R.deviation_gain u ~n ~alpha in
-      let measured = R.empirical_deviation_gain rng ~n ~alpha ~utility:u ~trials:3000 in
+      let measured = R.empirical_deviation_gain ~pool rng ~n ~alpha ~utility:u ~trials:3000 in
       B.Tab.add_row tab
         [
           B.Tab.fmt_float alpha;
@@ -41,7 +42,7 @@ let run () =
   B.Tab.print tab;
   (* The one-shot (bounded, deterministic) protocol is exactly alpha = 1:
      deviation gain = exclusivity > 0, so it is never an equilibrium. *)
-  Printf.printf
+  B.Out.printf
     "alpha = 1 (deterministic one-shot exchange): deviation gain = %s > 0 — the\n\
      Halpern-Teague impossibility; no bounded-round protocol works, matching the paper's\n\
      'nor with bounded running time' in bullet 2.\n\n"
@@ -55,5 +56,5 @@ let run () =
         in
         string_of_int o.R.rounds)
   in
-  Printf.printf "sample honest runs at alpha = 0.4 (geometric rounds): %s\n\n"
+  B.Out.printf "sample honest runs at alpha = 0.4 (geometric rounds): %s\n\n"
     (String.concat ", " rounds)

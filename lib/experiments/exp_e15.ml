@@ -47,10 +47,7 @@ let consensus ~n ~values =
         else None);
   }
 
-let run_with scheduler ~n ~values =
-  A.run ~n:(n + 1) ~scheduler (consensus ~n ~values)
-
-let run () =
+let run ?(jobs = 1) () =
   let n = 6 in
   let values = [| 3; 5; 1; 4; 2; 6 |] in
   let tab =
@@ -63,18 +60,26 @@ let run () =
     B.Tab.add_row tab
       [ label; string_of_int result.A.steps; string_of_bool decided; string_of_bool agree ]
   in
-  describe "fifo" (run_with A.fifo ~n ~values);
+  (* The whole scheduler sweep runs as one parallel batch: every scenario
+     is an independent simulation with private scheduler state, so the
+     table rows match the serial sweep for any [jobs]. *)
   let rng = B.Prng.create 15 in
-  describe "random" (run_with (A.random rng) ~n ~values);
-  List.iter
-    (fun budget_size ->
-      let budget = ref budget_size in
-      describe
-        (Printf.sprintf "delayer(victim=2, budget=%d)" budget_size)
-        (run_with (A.delayer ~victim:2 ~budget) ~n ~values))
-    [ 10; 100; 1000; 5000 ];
+  let budgets = [ 10; 100; 1000; 5000 ] in
+  let scenarios =
+    [ ("fifo", fun () -> A.fifo); ("random", fun () -> A.random (B.Prng.copy rng)) ]
+    @ List.map
+        (fun budget_size ->
+          ( Printf.sprintf "delayer(victim=2, budget=%d)" budget_size,
+            fun () -> A.delayer ~victim:2 ~budget:(ref budget_size) ))
+        budgets
+  in
+  let pool = B.Pool.create ~domains:jobs () in
+  let results =
+    A.run_scenarios ~pool ~n:(n + 1) (List.map snd scenarios) (consensus ~n ~values)
+  in
+  List.iter2 (fun (label, _) result -> describe label result) scenarios results;
   B.Tab.print tab;
-  print_endline
+  B.Out.print_endline
     "shape check: decision time under the adversarial scheduler grows linearly in its\n\
      fairness budget (it hides behind background traffic while starving the victim's value);\n\
      with an unbounded budget consensus would never be reached. The synchronous simulator\n\

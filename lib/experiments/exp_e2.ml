@@ -8,7 +8,7 @@ module B = Beyond_nash
 let name = "E2"
 let title = "bargaining game: resilience vs immunity of all-stay"
 
-let run () =
+let run ?jobs:_ () =
   let tab =
     B.Tab.create ~title
       [ "n"; "Nash"; "max k (resilience)"; "1-immune"; "max t (immunity)"; "punishment profile" ]
@@ -38,7 +38,7 @@ let run () =
   let stay = B.Mixed.pure_profile g (Array.make 4 0) in
   (match B.Robust.check_immunity g stay ~t:1 with
   | B.Robust.Fails v ->
-    Printf.printf
+    B.Out.printf
       "immunity witness (n=4): player %s leaves; non-deviator %d falls %.0f -> %.0f\n\n"
       (String.concat "," (List.map string_of_int v.B.Robust.traitors))
       v.B.Robust.victim v.B.Robust.before v.B.Robust.after

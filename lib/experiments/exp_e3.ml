@@ -19,14 +19,17 @@ let assumption_sets =
     ("PKI", { F.no_assumptions with F.pki = true });
   ]
 
-let run () =
+let run ?(jobs = 1) () =
+  let pool = B.Pool.create ~domains:jobs () in
   let tab = B.Tab.create ~title ("n \\ assumptions (k=1,t=1)" :: List.map fst assumption_sets) in
-  List.iter
-    (fun n ->
-      B.Tab.add_row tab
-        (string_of_int n
-        :: List.map (fun (_, a) -> F.describe (F.classify ~n ~k:1 ~t:1 a)) assumption_sets))
-    [ 3; 4; 5; 6; 7; 8 ];
+  (* One grid row per n, classified in parallel; rows are added in sweep
+     order so the table never depends on domain scheduling. *)
+  List.iter (B.Tab.add_row tab)
+    (B.Pool.map pool
+       (fun n ->
+         string_of_int n
+         :: List.map (fun (_, a) -> F.describe (F.classify ~n ~k:1 ~t:1 a)) assumption_sets)
+       [ 3; 4; 5; 6; 7; 8 ]);
   B.Tab.print tab;
   let witness = B.Tab.create ~title:"bullet-by-bullet witnesses" [ "bullet"; "statement"; "witness (n,k,t)"; "verdict" ] in
   let rows =

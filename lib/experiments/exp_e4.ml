@@ -28,7 +28,7 @@ let eig_row ~n ~t ~values ~adversary label =
     string_of_int r.B.Sync_net.messages_sent;
   ]
 
-let run () =
+let run ?jobs:_ () =
   let tab =
     B.Tab.create ~title [ "protocol"; "adversary"; "agreement"; "validity"; "rounds"; "msgs" ]
   in
@@ -131,7 +131,7 @@ let run () =
       string_of_int fs.B.Sync_net.messages_sent;
     ];
   B.Tab.print tab;
-  print_endline
+  B.Out.print_endline
     "shape check: EIG correct iff n > 3t (exponential messages); Phase King trades a stronger\n\
      bound (t < n/4) for polynomial messages; crash faults (FloodSet) need only f+1 rounds for\n\
      any f; with signatures (PKI) agreement survives n = 3t, mirroring n > k+t with PKI.\n"

@@ -11,7 +11,7 @@ module P = B.Primality
 let name = "E6"
 let title = "primality game: guess vs safe under computation costs"
 
-let run () =
+let run ?jobs:_ () =
   let cost = 0.05 in
   let rng = B.Prng.create 4242 in
   let tab =
@@ -22,8 +22,8 @@ let run () =
   List.iter
     (fun bits ->
       let spec = P.default_spec ~bits ~cost_per_op:cost in
-      let us = P.utilities (B.Prng.split rng) spec in
-      let eq = P.machine_names.(P.equilibrium_choice (B.Prng.split rng) spec) in
+      let us = P.utilities (B.Prng.split rng (2 * bits)) spec in
+      let eq = P.machine_names.(P.equilibrium_choice (B.Prng.split rng (2 * bits + 1)) spec) in
       B.Tab.add_row tab
         (string_of_int bits
         :: List.map (fun name -> B.Tab.fmt_float (List.assoc name us))
@@ -32,8 +32,8 @@ let run () =
     [ 6; 8; 12; 16; 20; 24; 28; 32; 40 ];
   B.Tab.print tab;
   (match P.crossover_bits rng ~cost_per_op:cost with
-  | Some b -> Printf.printf "crossover: safe overtakes solve at %d bits\n" b
-  | None -> print_endline "no crossover in range");
+  | Some b -> B.Out.printf "crossover: safe overtakes solve at %d bits\n" b
+  | None -> B.Out.print_endline "no crossover in range");
   (* Cost sweep: the crossover moves with the price of computation. *)
   let tab2 = B.Tab.create ~title:"crossover bit-length vs cost per operation" [ "cost/op"; "crossover bits" ] in
   List.iter

@@ -12,7 +12,7 @@ module F = B.Frpd
 let name = "E7"
 let title = "FRPD: when is (TfT, TfT) a computational equilibrium?"
 
-let run () =
+let run ?jobs:_ () =
   let delta = 0.9 in
   let horizons = [ 5; 8; 10; 15; 20 ] in
   let costs = [ 0.005; 0.01; 0.02; 0.05; 0.1 ] in
@@ -60,7 +60,7 @@ let run () =
       B.Tab.add_row tab3 [ B.Tab.fmt_float mu; B.Tab.fmt_float d; cell ])
     [ (0.001, 0.6); (0.01, 0.9); (0.05, 0.9); (0.05, 0.8); (0.1, 0.95) ];
   B.Tab.print tab3;
-  print_endline
+  B.Out.print_endline
     "note: in the full machine space (with AllC), (TfT,TfT) is never exact under per-state\n\
      charges because AllC plays identically against TfT with one state fewer — the artifact\n\
      DESIGN.md documents; the paper's argument quantifies over the counting deviations only.\n"

@@ -11,7 +11,7 @@ module MG = B.Machine_game
 let name = "E8"
 let title = "computational roshambo: nonexistence of equilibrium"
 
-let run () =
+let run ?jobs:_ () =
   let g = B.Comp_roshambo.game () in
   let nf = MG.to_normal_form g in
   let names = Array.init 4 (fun m -> B.Normal_form.action_name nf 0 m) in
@@ -26,7 +26,7 @@ let run () =
   done;
   B.Tab.print tab;
   (match B.Comp_roshambo.certificate g with
-  | None -> print_endline "UNEXPECTED: an equilibrium exists"
+  | None -> B.Out.print_endline "UNEXPECTED: an equilibrium exists"
   | Some cert ->
     let tab2 =
       B.Tab.create ~title:"nonexistence certificate: every profile admits a profitable switch"
@@ -48,12 +48,12 @@ let run () =
       cert;
     B.Tab.print tab2);
   let with_extras = B.Comp_roshambo.game ~extra_randomizers:true () in
-  Printf.printf "with biased randomizers added: equilibrium exists = %b (still none)\n"
+  B.Out.printf "with biased randomizers added: equilibrium exists = %b (still none)\n"
     (B.Comp_roshambo.has_equilibrium with_extras);
   let classical = B.Comp_roshambo.classical_equilibria () in
   (match classical with
   | [ p ] ->
-    Printf.printf
+    B.Out.printf
       "classical roshambo (free computation): unique Nash equilibrium, row mix = [%s]\n\n"
       (String.concat "; " (List.map B.Tab.fmt_float (Array.to_list p.(0))))
-  | l -> Printf.printf "classical roshambo: %d equilibria\n\n" (List.length l))
+  | l -> B.Out.printf "classical roshambo: %d equilibria\n\n" (List.length l))

@@ -21,7 +21,7 @@ let top_move profile pair info =
     | Some dist -> fst (List.hd (List.sort (fun (_, a) (_, b) -> compare b a) dist))
     | None -> "?")
 
-let run () =
+let run ?jobs:_ () =
   let tab =
     B.Tab.create ~title
       [ "p (B unaware)"; "#GNE"; "A's moves in Gamma^A"; "best modeler outcome (A,B)" ]
@@ -50,15 +50,15 @@ let run () =
     [ 0.0; 0.25; 0.4; 0.5; 0.6; 0.75; 1.0 ];
   B.Tab.print tab;
   let nes = Ex.underlying_nash_profiles () in
-  Printf.printf "underlying game's Nash equilibria (awareness ignored): %s\n"
+  B.Out.printf "underlying game's Nash equilibria (awareness ignored): %s\n"
     (String.concat "; " (List.map (fun (a, b) -> a ^ "+" ^ b) nes));
-  print_endline
+  B.Out.print_endline
     "shape check: Nash of Figure 1 includes (across_A, down_B), but once A assigns p > 1/2\n\
      to B being unaware of down_B, every generalized equilibrium has A playing down_A.\n";
   (* Canonical representation. *)
   let c = A.canonical Ex.underlying in
   let gne = A.pure_generalized_equilibria c in
-  Printf.printf
+  B.Out.printf
     "canonical representation of Figure 1: %d pure GNE = %d pure Nash strategy profiles\n"
     (List.length gne)
     (List.length (Ex.underlying_nash_profiles ()));
@@ -79,6 +79,6 @@ let run () =
       B.Tab.add_row tab2 [ B.Tab.fmt_float est; String.concat "/" moves ])
     [ -4.0; -2.0; 0.5; 1.5; 3.0 ];
   B.Tab.print tab2;
-  print_endline
+  B.Out.print_endline
     "shape check: a low evaluation of the unconceived move encourages peace overtures, as the\n\
      paper suggests for the war-settings discussion.\n"

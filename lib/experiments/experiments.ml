@@ -4,9 +4,18 @@
 
     Each entry regenerates one table/claim of Halpern (PODC 2008); the
     mapping to paper sections is in DESIGN.md §4 and the measured outcomes
-    are recorded in EXPERIMENTS.md. *)
+    are recorded in EXPERIMENTS.md.
 
-let all : (string * string * (unit -> unit)) list =
+    Every experiment takes [?jobs] — the domain budget for its internal
+    parallel loops (coalition enumeration, Monte Carlo trials, scenario
+    sweeps) — and prints through {!Bn_util.Out}, which is what lets
+    {!run_all} render experiments concurrently and still emit the
+    byte-exact serial transcript. The contract, pinned down by
+    [test/test_determinism.ml]: output is identical for every [jobs]. *)
+
+type entry = string * string * (?jobs:int -> unit -> unit)
+
+let all : entry list =
   [
     (Exp_e1.name, Exp_e1.title, Exp_e1.run);
     (Exp_e2.name, Exp_e2.title, Exp_e2.run);
@@ -27,9 +36,16 @@ let all : (string * string * (unit -> unit)) list =
 
 let find id = List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = String.lowercase_ascii id) all
 
-let run_all () =
-  List.iter
-    (fun (name, title, run) ->
-      Printf.printf "######## %s: %s ########\n\n" name title;
-      run ())
-    all
+let render_entry ~jobs ((name, title, run) : entry) =
+  Bn_util.Out.with_capture (fun () ->
+      Bn_util.Out.printf "######## %s: %s ########\n\n" name title;
+      run ~jobs ())
+
+let render ?(jobs = 1) id = Option.map (render_entry ~jobs) (find id)
+
+let run_all ?(jobs = 1) () =
+  (* Each experiment renders into its own buffer on the pool; printing in
+     registry order afterwards keeps the transcript byte-identical to the
+     serial run no matter how domains interleave. *)
+  let pool = Bn_util.Pool.create ~domains:jobs () in
+  List.iter print_string (Bn_util.Pool.map pool (render_entry ~jobs) all)

@@ -152,7 +152,7 @@ let crossover_bits ?(lo = 6) ?(hi = 48) rng ~cost_per_op =
     if bits > hi then None
     else begin
       let spec = default_spec ~bits ~cost_per_op in
-      let us = utilities (Bn_util.Prng.split rng) spec in
+      let us = utilities (Bn_util.Prng.split rng bits) spec in
       let u_solve = List.assoc "solve" us and u_safe = List.assoc "safe" us in
       if u_safe > u_solve then Some bits else go (bits + 1)
     end

@@ -67,13 +67,18 @@ let simulate rng ~n ~alpha ~utility ~withholder ~secret =
   let rounds, aborted = round 1 in
   { rounds; learned; utilities = utilities_of utility learned; aborted }
 
-let empirical_deviation_gain rng ~n ~alpha ~utility ~trials =
-  let total_honest = ref 0.0 and total_deviant = ref 0.0 in
-  for _ = 1 to trials do
-    let secret = Prng.int rng 1000 in
-    let honest = simulate (Prng.split rng) ~n ~alpha ~utility ~withholder:None ~secret in
-    let deviant = simulate (Prng.split rng) ~n ~alpha ~utility ~withholder:(Some 0) ~secret in
-    total_honest := !total_honest +. honest.utilities.(0);
-    total_deviant := !total_deviant +. deviant.utilities.(0)
-  done;
-  (!total_deviant -. !total_honest) /. float_of_int trials
+let empirical_deviation_gain ?(pool = Bn_util.Pool.serial) rng ~n ~alpha ~utility ~trials =
+  (* Each trial draws from its own index-split stream and lands in its own
+     slot, so the estimate is bit-identical for any pool size. *)
+  let gains = Array.make trials 0.0 in
+  Bn_util.Pool.iter_grid pool
+    (fun i ->
+      let trial_rng = Prng.split rng i in
+      let secret = Prng.int trial_rng 1000 in
+      let honest = simulate (Prng.split trial_rng 0) ~n ~alpha ~utility ~withholder:None ~secret in
+      let deviant =
+        simulate (Prng.split trial_rng 1) ~n ~alpha ~utility ~withholder:(Some 0) ~secret
+      in
+      gains.(i) <- deviant.utilities.(0) -. honest.utilities.(0))
+    (Array.init trials Fun.id);
+  Array.fold_left ( +. ) 0.0 gains /. float_of_int trials

@@ -54,5 +54,8 @@ val simulate :
     [withholder = Some i] makes player [i] withhold every round. *)
 
 val empirical_deviation_gain :
+  ?pool:Bn_util.Pool.t ->
   Bn_util.Prng.t -> n:int -> alpha:float -> utility:utility -> trials:int -> float
-(** Monte-Carlo estimate of {!deviation_gain} from simulation. *)
+(** Monte-Carlo estimate of {!deviation_gain} from simulation. Trials run
+    on [pool] (default serial); trial [i] draws from [Prng.split rng i],
+    so the estimate does not depend on the pool size. *)

@@ -29,18 +29,14 @@ let deviate g prof assignment =
     assignment;
   deviated
 
-exception Found of violation
-
 let baseline g prof = Array.init (Normal_form.n_players g) (Mixed.expected_payoff g prof)
 
-(* Quantify over disjoint C (≤ k) and T (≤ t) and joint pure deviations by
-   C ∪ T; call [test] with the deviated profile. [test] raises [Found] to
-   report a violation. *)
-let for_all_deviations g ~k ~t test =
-  let n = Normal_form.n_players g in
-  let dims = Normal_form.actions g in
+(* All (C, T) pairs with disjoint C (≤ k) and T (≤ t), in the canonical
+   enumeration order: coalitions outermost (smallest first, as produced by
+   [Combin.subsets_up_to]), traitor sets within. *)
+let coalition_traitor_pairs n ~k ~t =
   let coalitions = if k = 0 then [ [] ] else [] :: Bn_util.Combin.subsets_up_to n k in
-  List.iter
+  List.concat_map
     (fun coalition ->
       let rest = List.filter (fun i -> not (List.mem i coalition)) (List.init n Fun.id) in
       let rest_count = List.length rest in
@@ -52,74 +48,79 @@ let for_all_deviations g ~k ~t test =
             (List.map (fun idx -> List.nth rest idx))
             (Bn_util.Combin.subsets_up_to rest_count (min t rest_count))
       in
-      List.iter
+      List.filter_map
         (fun traitors ->
-          if coalition <> [] || traitors <> [] then
-            let members = coalition @ traitors in
-            List.iter
-              (fun assignment -> test ~coalition ~traitors assignment)
-              (Bn_util.Combin.joint_assignments members dims))
+          if coalition = [] && traitors = [] then None else Some (coalition, traitors))
         traitor_sets)
     coalitions
 
-let check_resilience ?(variant = Strong) ?(eps = 1e-9) g prof ~k =
-  let base = baseline g prof in
-  try
-    for_all_deviations g ~k ~t:0 (fun ~coalition ~traitors:_ assignment ->
-        let deviated = deviate g prof assignment in
-        let gains =
-          List.map
-            (fun i ->
-              let after = Mixed.expected_payoff g deviated i in
-              (i, after, after > base.(i) +. eps))
-            coalition
-        in
-        let blocked =
-          match variant with
-          | Strong -> List.exists (fun (_, _, gained) -> gained) gains
-          | Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
-        in
-        if blocked then begin
-          let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
-          raise
-            (Found
-               {
-                 coalition;
-                 traitors = [];
-                 deviation = assignment;
-                 victim;
-                 before = base.(victim);
-                 after;
-               })
-        end);
-    Holds
-  with Found v -> Fails v
+let pool_of_jobs jobs = Bn_util.Pool.create ~domains:jobs ()
 
-let check_immunity ?(eps = 1e-9) g prof ~t =
+(* Search over disjoint C (≤ k), T (≤ t) and joint pure deviations by
+   C ∪ T for the first violation reported by [test]. The outer (C, T)
+   pairs are scanned on [jobs] domains; [Pool.find_first] returns the
+   lowest-index hit, so the reported violation is the one the serial
+   left-to-right scan would find, for any [jobs]. *)
+let search_deviations ?(jobs = 1) g ~k ~t test =
+  let n = Normal_form.n_players g in
+  let dims = Normal_form.actions g in
+  let pairs = Array.of_list (coalition_traitor_pairs n ~k ~t) in
+  Bn_util.Pool.find_first (pool_of_jobs jobs)
+    (fun (coalition, traitors) ->
+      List.find_map
+        (fun assignment -> test ~coalition ~traitors assignment)
+        (Bn_util.Combin.joint_assignments (coalition @ traitors) dims))
+    pairs
+
+(* Does the deviated profile give the coalition a blocking gain? *)
+let blocking_gain variant ~eps g base deviated coalition =
+  let gains =
+    List.map
+      (fun i ->
+        let after = Mixed.expected_payoff g deviated i in
+        (i, after, after > base.(i) +. eps))
+      coalition
+  in
+  let blocked =
+    match variant with
+    | Strong -> List.exists (fun (_, _, gained) -> gained) gains
+    | Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
+  in
+  if blocked then
+    let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
+    Some (victim, after)
+  else None
+
+let verdict_of = function Some v -> Fails v | None -> Holds
+
+let check_resilience ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k =
+  let base = baseline g prof in
+  verdict_of
+    (search_deviations ?jobs g ~k ~t:0 (fun ~coalition ~traitors:_ assignment ->
+         let deviated = deviate g prof assignment in
+         Option.map
+           (fun (victim, after) ->
+             { coalition; traitors = []; deviation = assignment; victim;
+               before = base.(victim); after })
+           (blocking_gain variant ~eps g base deviated coalition)))
+
+let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
   let base = baseline g prof in
   let n = Normal_form.n_players g in
-  try
-    for_all_deviations g ~k:0 ~t (fun ~coalition:_ ~traitors assignment ->
-        let deviated = deviate g prof assignment in
-        List.iter
-          (fun i ->
-            if not (List.mem i traitors) then begin
-              let after = Mixed.expected_payoff g deviated i in
-              if after < base.(i) -. eps then
-                raise
-                  (Found
-                     {
-                       coalition = [];
-                       traitors;
-                       deviation = assignment;
-                       victim = i;
-                       before = base.(i);
-                       after;
-                     })
-            end)
-          (List.init n Fun.id));
-    Holds
-  with Found v -> Fails v
+  verdict_of
+    (search_deviations ?jobs g ~k:0 ~t (fun ~coalition:_ ~traitors assignment ->
+         let deviated = deviate g prof assignment in
+         List.find_map
+           (fun i ->
+             if List.mem i traitors then None
+             else
+               let after = Mixed.expected_payoff g deviated i in
+               if after < base.(i) -. eps then
+                 Some
+                   { coalition = []; traitors; deviation = assignment; victim = i;
+                     before = base.(i); after }
+               else None)
+           (List.init n Fun.id)))
 
 (* (k,t)-robustness combines two guarantees (ADGH):
    - resilience side: no coalition C (|C| ≤ k) profits from a joint
@@ -130,82 +131,70 @@ let check_immunity ?(eps = 1e-9) g prof ~t =
      rational players follow the equilibrium, so outsiders need no
      protection from C; this is what makes (1,0)-robustness coincide
      exactly with Nash equilibrium. *)
-let check_robustness ?(variant = Strong) ?(eps = 1e-9) g prof ~k ~t =
+let check_robustness ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k ~t =
   let base = baseline g prof in
-  match check_immunity ~eps g prof ~t with
+  match check_immunity ~eps ?jobs g prof ~t with
   | Fails v -> Fails v
-  | Holds -> (
-    try
-      for_all_deviations g ~k ~t (fun ~coalition ~traitors assignment ->
-          let deviated = deviate g prof assignment in
-          let gains =
-            List.map
-              (fun i ->
-                let after = Mixed.expected_payoff g deviated i in
-                (i, after, after > base.(i) +. eps))
-              coalition
-          in
-          let blocked =
-            match variant with
-            | Strong -> List.exists (fun (_, _, gained) -> gained) gains
-            | Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
-          in
-          if blocked then begin
-            let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
-            raise
-              (Found
-                 { coalition; traitors; deviation = assignment; victim;
-                   before = base.(victim); after })
-          end);
-      Holds
-    with Found v -> Fails v)
+  | Holds ->
+    verdict_of
+      (search_deviations ?jobs g ~k ~t (fun ~coalition ~traitors assignment ->
+           let deviated = deviate g prof assignment in
+           Option.map
+             (fun (victim, after) ->
+               { coalition; traitors; deviation = assignment; victim;
+                 before = base.(victim); after })
+             (blocking_gain variant ~eps g base deviated coalition)))
 
-let is_k_resilient ?variant ?eps g prof ~k =
-  match check_resilience ?variant ?eps g prof ~k with Holds -> true | Fails _ -> false
+let is_k_resilient ?variant ?eps ?jobs g prof ~k =
+  match check_resilience ?variant ?eps ?jobs g prof ~k with Holds -> true | Fails _ -> false
 
-let is_t_immune ?eps g prof ~t =
-  match check_immunity ?eps g prof ~t with Holds -> true | Fails _ -> false
+let is_t_immune ?eps ?jobs g prof ~t =
+  match check_immunity ?eps ?jobs g prof ~t with Holds -> true | Fails _ -> false
 
-let is_robust ?variant ?eps g prof ~k ~t =
-  match check_robustness ?variant ?eps g prof ~k ~t with Holds -> true | Fails _ -> false
+let is_robust ?variant ?eps ?jobs g prof ~k ~t =
+  match check_robustness ?variant ?eps ?jobs g prof ~k ~t with Holds -> true | Fails _ -> false
 
-let max_resilience ?variant ?eps g prof =
+let max_resilience ?variant ?eps ?jobs g prof =
   let n = Normal_form.n_players g in
-  let rec go k = if k >= n then n else if is_k_resilient ?variant ?eps g prof ~k:(k + 1) then go (k + 1) else k in
+  let rec go k =
+    if k >= n then n
+    else if is_k_resilient ?variant ?eps ?jobs g prof ~k:(k + 1) then go (k + 1)
+    else k
+  in
   go 0
 
-let max_immunity ?eps g prof =
+let max_immunity ?eps ?jobs g prof =
   let n = Normal_form.n_players g in
-  let rec go t = if t >= n then n else if is_t_immune ?eps g prof ~t:(t + 1) then go (t + 1) else t in
+  let rec go t =
+    if t >= n then n else if is_t_immune ?eps ?jobs g prof ~t:(t + 1) then go (t + 1) else t
+  in
   go 0
 
-let robust_pure_equilibria ?variant ?eps g ~k ~t =
+let robust_pure_equilibria ?variant ?eps ?jobs g ~k ~t =
   let acc = ref [] in
   Normal_form.iter_profiles g (fun p ->
       let prof = Mixed.pure_profile g p in
-      if is_robust ?variant ?eps g prof ~k ~t then acc := Array.copy p :: !acc);
+      if is_robust ?variant ?eps ?jobs g prof ~k ~t then acc := Array.copy p :: !acc);
   List.rev !acc
 
 let find_punishment ?(eps = 1e-9) g ~target ~budget =
   let n = Normal_form.n_players g in
   if Array.length target <> n then invalid_arg "Robust.find_punishment: target arity";
+  let escapes deviated =
+    let rec go i =
+      i < n && (Mixed.expected_payoff g deviated i >= target.(i) -. eps || go (i + 1))
+    in
+    go 0
+  in
   let qualifies rho =
     let prof = Mixed.pure_profile g rho in
-    (* Every player strictly below target even at the base profile... *)
-    let ok = ref true in
-    (try
-       (* Deviations by any ≤ budget players (they may also be punished
-          players trying to escape). *)
-       let check deviated =
-         for i = 0 to n - 1 do
-           if Mixed.expected_payoff g deviated i >= target.(i) -. eps then raise Exit
-         done
-       in
-       check prof;
-       for_all_deviations g ~k:budget ~t:0 (fun ~coalition:_ ~traitors:_ assignment ->
-           check (deviate g prof assignment))
-     with Exit -> ok := false);
-    !ok
+    (* Every player strictly below target at the base profile and under
+       deviations by any ≤ budget players (who may also be punished players
+       trying to escape). *)
+    (not (escapes prof))
+    && Option.is_none
+         (search_deviations g ~k:budget ~t:0 (fun ~coalition:_ ~traitors:_ assignment ->
+              if escapes (deviate g prof assignment) then Some () else None))
   in
   let result = ref None in
   (try

@@ -42,45 +42,53 @@ type verdict = Holds | Fails of violation
 val pp_violation : Format.formatter -> violation -> unit
 
 val check_resilience :
-  ?variant:variant -> ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
-  k:int -> verdict
+  ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
+  Bn_game.Mixed.profile -> k:int -> verdict
 (** Is the profile [k]-resilient? [k = 0] always holds; [k = 1] with
-    [Strong] is the Nash condition. *)
+    [Strong] is the Nash condition.
+
+    All checkers take [?jobs] (default 1): the outermost coalition/traitor
+    enumeration is chunked over that many domains via {!Bn_util.Pool}. The
+    verdict — including {e which} violation is reported — is identical to
+    the serial scan for every [jobs] value. *)
 
 val check_immunity :
-  ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile -> t:int -> verdict
+  ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
+  t:int -> verdict
 (** Is the profile [t]-immune? *)
 
 val check_robustness :
-  ?variant:variant -> ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
-  k:int -> t:int -> verdict
+  ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
+  Bn_game.Mixed.profile -> k:int -> t:int -> verdict
 (** Is the profile [(k,t)]-robust? Quantifies over disjoint [C], [T] and
     joint deviations by their union. *)
 
 val is_k_resilient :
-  ?variant:variant -> ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
-  k:int -> bool
+  ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
+  Bn_game.Mixed.profile -> k:int -> bool
 
 val is_t_immune :
-  ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile -> t:int -> bool
+  ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
+  t:int -> bool
 
 val is_robust :
-  ?variant:variant -> ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
-  k:int -> t:int -> bool
+  ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
+  Bn_game.Mixed.profile -> k:int -> t:int -> bool
 
 val max_resilience :
-  ?variant:variant -> ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile -> int
+  ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
+  Bn_game.Mixed.profile -> int
 (** Largest [k ≤ n] such that the profile is [k]-resilient (0 if not even
     1-resilient, i.e. not Nash). *)
 
 val max_immunity :
-  ?eps:float -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile -> int
+  ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile -> int
 (** Largest [t ≤ n] such that the profile is [t]-immune. [n] means immune
     to any number of deviators. *)
 
 val robust_pure_equilibria :
-  ?variant:variant -> ?eps:float -> Bn_game.Normal_form.t -> k:int -> t:int ->
-  int array list
+  ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
+  k:int -> t:int -> int array list
 (** All pure profiles that are (k,t)-robust equilibria. *)
 
 val find_punishment :

@@ -1,0 +1,91 @@
+type t = { budget : int }
+
+let create ?domains () =
+  let d = match domains with Some d -> d | None -> Domain.recommended_domain_count () in
+  { budget = max 1 d }
+
+let serial = { budget = 1 }
+
+let domains t = t.budget
+
+(* Contiguous chunk [lo, hi) handled by worker [j] of [d] over [n] items.
+   Chunk boundaries depend only on (n, d), never on timing. *)
+let chunk ~n ~d j = (j * n / d, (j + 1) * n / d)
+
+(* Run [body j] on [d] workers: worker 0 on the calling domain, the rest on
+   fresh domains, all joined before returning. Any exception from a worker
+   is re-raised (spawned workers first, in worker order). *)
+let run_workers ~d body =
+  if d <= 1 then body 0
+  else begin
+    let spawned = Array.init (d - 1) (fun i -> Domain.spawn (fun () -> body (i + 1))) in
+    let mine = try Ok (body 0) with e -> Error e in
+    Array.iter Domain.join spawned;
+    match mine with Ok () -> () | Error e -> raise e
+  end
+
+let effective_domains t n = min t.budget (max 1 n)
+
+let iter_grid t f grid =
+  let n = Array.length grid in
+  if n > 0 then begin
+    let d = effective_domains t n in
+    run_workers ~d (fun j ->
+        let lo, hi = chunk ~n ~d j in
+        for i = lo to hi - 1 do
+          f grid.(i)
+        done)
+  end
+
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    let d = effective_domains t n in
+    run_workers ~d (fun j ->
+        let lo, hi = chunk ~n ~d j in
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f xs.(i))
+        done);
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let find_first t f xs =
+  let n = Array.length xs in
+  if n = 0 then None
+  else begin
+    let d = effective_domains t n in
+    (* Lowest index with a hit so far; workers stop once their whole
+       remaining range lies above it. Purely an early-exit: the final
+       answer is the minimum over per-worker first hits. *)
+    let watermark = Atomic.make n in
+    let rec lower i =
+      let cur = Atomic.get watermark in
+      if i < cur && not (Atomic.compare_and_set watermark cur i) then lower i
+    in
+    let hits = Array.make d None in
+    run_workers ~d (fun j ->
+        let lo, hi = chunk ~n ~d j in
+        let i = ref lo in
+        let stop = ref false in
+        while (not !stop) && !i < hi && !i < Atomic.get watermark do
+          (match f xs.(!i) with
+          | Some _ as y ->
+            hits.(j) <- Some (!i, y);
+            lower !i;
+            stop := true
+          | None -> ());
+          incr i
+        done);
+    let best = ref None in
+    Array.iter
+      (function
+        | Some (i, y) -> (
+          match !best with Some (i0, _) when i0 <= i -> () | _ -> best := Some (i, y))
+        | None -> ())
+      hits;
+    match !best with Some (_, y) -> y | None -> None
+  end

@@ -16,9 +16,15 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t =
-  let seed = bits64 t in
-  { state = seed }
+(* Indexed split: the child's state is a pure avalanche of (state, i), so
+   it neither advances the parent nor depends on how many siblings were
+   split before it — the property that makes parallel Monte Carlo loops
+   bit-identical for any domain count. The double mix (with a xor of a
+   second odd constant in between) keeps child streams disjoint from the
+   parent's own SplitMix64 counter stream. *)
+let split t i =
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix (Int64.logxor (mix z) 0xA5A5B4E1D3C2F687L) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

@@ -14,9 +14,15 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
-val split : t -> t
-(** [split t] advances [t] and returns a fresh generator whose stream is
-    statistically independent of the remainder of [t]'s stream. *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child generator from [t]'s current
+    state {e without advancing [t]}: it is a pure function of the state
+    and [i], so [split t i] called before, after, or concurrently with any
+    other split of [t] always yields the same stream. Distinct indices
+    give streams that are statistically independent of each other and of
+    the remainder of [t]'s own stream. This is the seed-derivation
+    contract the parallel {!Pool} relies on for bit-identical results at
+    any domain count. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -43,6 +43,6 @@ let render t =
   String.concat "\n" (("== " ^ t.title ^ " ==") :: body)
 
 let print t =
-  print_string (render t);
-  print_newline ();
-  print_newline ()
+  Out.print_string (render t);
+  Out.print_newline ();
+  Out.print_newline ()

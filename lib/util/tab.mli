@@ -20,7 +20,8 @@ val render : t -> string
 (** ASCII rendering with a title line, a header rule, and aligned columns. *)
 
 val print : t -> unit
-(** [render] followed by output to stdout with a trailing blank line. *)
+(** [render] followed by output through {!Out} (stdout, or the current
+    capture buffer) with a trailing blank line. *)
 
 val fmt_float : float -> string
 (** Canonical float formatting used by {!add_float_row}. *)

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "beyond_nash"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("lp", Test_lp.suite);
       ("game", Test_game.suite);
       ("bayesian", Test_bayesian.suite);
@@ -22,4 +23,5 @@ let () =
       ("canned-sunspot", Test_canned_sunspot.suite);
       ("rationalizable-parse", Test_rationalizable_parse.suite);
       ("experiments", Test_experiments.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -14,9 +14,9 @@ let with_silenced_stdout f =
       Unix.close saved)
     f
 
-let smoke (name, _title, run) =
+let smoke ((name, _title, run) : Bn_experiments.Experiments.entry) =
   Alcotest.test_case (Printf.sprintf "%s runs" name) `Slow (fun () ->
-      with_silenced_stdout run)
+      with_silenced_stdout (fun () -> run ()))
 
 let test_registry_ids () =
   let ids = List.map (fun (n, _, _) -> n) Bn_experiments.Experiments.all in

@@ -101,20 +101,20 @@ let test_counted_cost_grows () =
 let test_primality_game_crossover () =
   let rng = B.Prng.create 77 in
   let small = P.default_spec ~bits:8 ~cost_per_op:0.05 in
-  let us_small = P.utilities (B.Prng.split rng) small in
+  let us_small = P.utilities (B.Prng.split rng 8) small in
   Alcotest.(check bool) "solve wins at 8 bits" true
     (List.assoc "solve" us_small > List.assoc "safe" us_small);
   let large = P.default_spec ~bits:40 ~cost_per_op:0.05 in
-  let us_large = P.utilities (B.Prng.split rng) large in
+  let us_large = P.utilities (B.Prng.split rng 40) large in
   Alcotest.(check bool) "safe wins at 40 bits" true
     (List.assoc "safe" us_large > List.assoc "solve" us_large)
 
 let test_primality_equilibrium_choice () =
   let rng = B.Prng.create 78 in
   Alcotest.(check int) "equilibrium at 8 bits is solve (index 0)" 0
-    (P.equilibrium_choice (B.Prng.split rng) (P.default_spec ~bits:8 ~cost_per_op:0.05));
+    (P.equilibrium_choice (B.Prng.split rng 8) (P.default_spec ~bits:8 ~cost_per_op:0.05));
   Alcotest.(check int) "equilibrium at 40 bits is safe (index 1)" 1
-    (P.equilibrium_choice (B.Prng.split rng) (P.default_spec ~bits:40 ~cost_per_op:0.05))
+    (P.equilibrium_choice (B.Prng.split rng 40) (P.default_spec ~bits:40 ~cost_per_op:0.05))
 
 let test_crossover_bits_found () =
   let rng = B.Prng.create 79 in

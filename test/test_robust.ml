@@ -161,6 +161,53 @@ let nash_iff_1resilient_property =
           if B.Nash.is_nash g prof <> R.is_k_resilient g prof ~k:1 then ok := false);
       !ok)
 
+(* Random 3-player 2-action game from 8 payoff draws. *)
+let random_game payoffs =
+  B.Normal_form.create ~actions:[| 2; 2; 2 |] (fun p ->
+      let idx = (p.(0) * 4) + (p.(1) * 2) + p.(2) in
+      [| payoffs.(idx mod 8); payoffs.((idx + 3) mod 8); payoffs.((idx + 6) mod 8) |])
+
+let parallel_agrees_with_serial_property =
+  QCheck.Test.make ~count:40 ~name:"robust: ~jobs:4 verdict = serial verdict"
+    QCheck.(array_of_size (Gen.return 8) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g = random_game payoffs in
+      let ok = ref true in
+      B.Normal_form.iter_profiles g (fun p ->
+          let prof = B.Mixed.pure_profile g p in
+          (* Full verdicts, not just booleans: the parallel scan must also
+             report the same first violation as the serial one. *)
+          if
+            R.check_resilience ~jobs:4 g prof ~k:2 <> R.check_resilience g prof ~k:2
+            || R.check_robustness ~jobs:4 g prof ~k:1 ~t:1
+               <> R.check_robustness g prof ~k:1 ~t:1
+            || R.is_k_resilient ~jobs:4 g prof ~k:3 <> R.is_k_resilient g prof ~k:3
+          then ok := false);
+      !ok)
+
+let k1_resilience_is_unilateral_nash_property =
+  QCheck.Test.make ~count:40 ~name:"robust: ~k:1 = unilateral-deviation (Nash) check"
+    QCheck.(array_of_size (Gen.return 8) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g = random_game payoffs in
+      let eps = 1e-9 in
+      let unilaterally_stable prof =
+        let base = Array.init 3 (B.Mixed.expected_payoff g prof) in
+        let gain = ref false in
+        for i = 0 to 2 do
+          for a = 0 to 1 do
+            if B.Mixed.expected_payoff_vs_pure g prof ~player:i ~action:a > base.(i) +. eps
+            then gain := true
+          done
+        done;
+        not !gain
+      in
+      let ok = ref true in
+      B.Normal_form.iter_profiles g (fun p ->
+          let prof = B.Mixed.pure_profile g p in
+          if R.is_k_resilient ~jobs:4 g prof ~k:1 <> unilaterally_stable prof then ok := false);
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "coordination: Nash, not 2-resilient" `Quick
@@ -182,4 +229,6 @@ let suite =
     QCheck_alcotest.to_alcotest resilience_monotone_property;
     QCheck_alcotest.to_alcotest immunity_monotone_property;
     QCheck_alcotest.to_alcotest nash_iff_1resilient_property;
+    QCheck_alcotest.to_alcotest parallel_agrees_with_serial_property;
+    QCheck_alcotest.to_alcotest k1_resilience_is_unilateral_nash_property;
   ]

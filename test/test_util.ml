@@ -16,9 +16,15 @@ let test_prng_seeds_differ () =
 
 let test_prng_split_independent () =
   let a = B.Prng.create 7 in
-  let c = B.Prng.split a in
-  Alcotest.(check bool) "split differs from parent" false
-    (B.Prng.bits64 c = B.Prng.bits64 a)
+  let c = B.Prng.split a 0 in
+  let d = B.Prng.split a 1 in
+  let c0 = B.Prng.bits64 c in
+  Alcotest.(check bool) "split differs from parent" false (c0 = B.Prng.bits64 a);
+  Alcotest.(check bool) "sibling splits differ" false (c0 = B.Prng.bits64 d);
+  (* Pure in (state, index): re-deriving the same child from the same
+     parent state gives the same stream. *)
+  let c' = B.Prng.split (B.Prng.create 7) 0 in
+  Alcotest.(check int64) "split is pure" c0 (B.Prng.bits64 c')
 
 let test_prng_copy () =
   let a = B.Prng.create 3 in
