@@ -5,7 +5,11 @@
 module B = Beyond_nash
 
 (* [-j N] picks the domain budget for the experiment tables and the
-   parallel kernels; results are bit-identical for every N. *)
+   parallel kernels; results are bit-identical for every N. [--json FILE]
+   additionally dumps the bechamel OLS estimates and the serial/parallel
+   wall-clock rows as JSON (the perf-trajectory artifact, e.g.
+   BENCH_2.json). [--quick] skips the experiment tables and shrinks the
+   bechamel quota — the CI smoke configuration. *)
 let jobs =
   let rec scan = function
     | "-j" :: n :: _ | "--jobs" :: n :: _ -> int_of_string n
@@ -13,6 +17,16 @@ let jobs =
     | [] -> Domain.recommended_domain_count ()
   in
   scan (Array.to_list Sys.argv)
+
+let json_file =
+  let rec scan = function
+    | "--json" :: f :: _ -> Some f
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
 
 let experiments () = Bn_experiments.Experiments.run_all ~jobs ()
 
@@ -130,29 +144,39 @@ let microbenches =
       bench_replicator;
     ]
 
+(* Runs the suite, prints the table and returns [(name, ns_per_run)] rows
+   (only rows with a usable OLS estimate) for the JSON dump. *)
 let run_microbenches () =
   print_endline "######## microbenchmarks (bechamel; time per run) ########\n";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let quota = Time.second (if quick then 0.05 else 0.25) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
   let raw = Benchmark.all cfg instances microbenches in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   let tab = B.Tab.create ~title:"core kernels" [ "benchmark"; "time/run" ] in
-  List.iter
-    (fun (name, ols) ->
-      let cell =
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] ->
-          if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
-          else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
-          else Printf.sprintf "%.1f ns" est
-        | Some _ | None -> "n/a"
-      in
-      B.Tab.add_row tab [ name; cell ])
-    rows;
-  B.Tab.print tab
+  let estimates =
+    List.filter_map
+      (fun (name, ols) ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ est ] -> Some est | Some _ | None -> None
+        in
+        let cell =
+          match est with
+          | Some est ->
+            if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+            else Printf.sprintf "%.1f ns" est
+          | None -> "n/a"
+        in
+        B.Tab.add_row tab [ name; cell ];
+        Option.map (fun est -> (name, est)) est)
+      rows
+  in
+  B.Tab.print tab;
+  estimates
 
 (* Wall-clock serial-vs-parallel comparison of the robustness kernel: the
    headline number for the Pool fast path (bechamel's per-run OLS rows
@@ -181,9 +205,54 @@ let run_speedup_table () =
       Printf.sprintf "%.2fx" (serial_t /. par_t);
       string_of_bool (serial_r = par_r);
     ];
-  B.Tab.print tab
+  B.Tab.print tab;
+  [
+    ("robust/3-resilience-n8", "serial", 1, serial_t);
+    ("robust/3-resilience-n8", "parallel", jobs, par_t);
+  ]
+
+(* {1 JSON perf artifact} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file ~wall ~micro =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"beyond-nash-bench/1\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"microbench\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    { \"name\": \"%s\", \"ns_per_run\": %.3f }%s\n" (json_escape name) ns
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  p "  ],\n";
+  p "  \"wallclock\": [\n";
+  List.iteri
+    (fun i (name, mode, j, seconds) ->
+      p "    { \"name\": \"%s\", \"mode\": \"%s\", \"jobs\": %d, \"seconds\": %.6f }%s\n"
+        (json_escape name) mode j seconds
+        (if i = List.length wall - 1 then "" else ","))
+    wall;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 let () =
-  experiments ();
-  run_speedup_table ();
-  run_microbenches ()
+  if not quick then experiments ();
+  let wall = run_speedup_table () in
+  let micro = run_microbenches () in
+  Option.iter (fun file -> write_json file ~wall ~micro) json_file

@@ -74,6 +74,16 @@ let action_name t i a = t.action_names.(i).(a)
 let payoff t profile i = t.table.(index_of t profile).(i)
 let payoff_vector t profile = Array.copy t.table.(index_of t profile)
 
+let table_size t = Array.length t.table
+let stride t i = t.strides.(i)
+let payoff_by_index t idx i = t.table.(idx).(i)
+let payoff_row t idx = t.table.(idx)
+
+let shift_index t idx ~player ~from_ ~to_ = idx + ((to_ - from_) * t.strides.(player))
+
+let profile_of_index t idx =
+  Array.init t.n (fun i -> idx / t.strides.(i) mod t.acts.(i))
+
 let iter_profiles t f = Bn_util.Combin.iter_profiles t.acts f
 let profiles t = Bn_util.Combin.profiles t.acts
 
@@ -82,23 +92,25 @@ let map_payoffs f t =
     (fun p -> f p (payoff_vector t p))
 
 let is_zero_sum ?(eps = 1e-9) t =
-  let ok = ref true in
-  iter_profiles t (fun p ->
-      let s = Array.fold_left ( +. ) 0.0 t.table.(index_of t p) in
-      if Float.abs s > eps then ok := false);
-  !ok
+  let size = Array.length t.table in
+  let rec go idx =
+    idx >= size
+    || (Float.abs (Array.fold_left ( +. ) 0.0 t.table.(idx)) <= eps && go (idx + 1))
+  in
+  go 0
 
 let is_symmetric_2p ?(eps = 1e-9) t =
   t.n = 2
   && t.acts.(0) = t.acts.(1)
   &&
-  let ok = ref true in
-  for i = 0 to t.acts.(0) - 1 do
-    for j = 0 to t.acts.(1) - 1 do
-      if Float.abs (payoff t [| i; j |] 0 -. payoff t [| j; i |] 1) > eps then ok := false
-    done
-  done;
-  !ok
+  let m = t.acts.(0) in
+  let rec go i j =
+    if i >= m then true
+    else if j >= m then go (i + 1) 0
+    else
+      Float.abs (payoff t [| i; j |] 0 -. payoff t [| j; i |] 1) <= eps && go i (j + 1)
+  in
+  go 0 0
 
 let pp ppf t =
   if t.n = 2 then begin

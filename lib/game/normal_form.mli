@@ -39,6 +39,41 @@ val payoff : t -> int array -> int -> float
 val payoff_vector : t -> int array -> float array
 (** All payoffs at a pure profile (fresh array). *)
 
+(** {2 Index-based access}
+
+    The payoff table is flat and row-major: a pure profile [p] lives at
+    flat index [Σᵢ p.(i) · stride i]. Hot loops (deviation search,
+    support-product expectation) keep a running flat index and pay one
+    array read per evaluation instead of re-walking the profile. *)
+
+val index_of : t -> int array -> int
+(** Flat table index of a pure profile (row-major). *)
+
+val table_size : t -> int
+(** Number of pure profiles, [∏ᵢ num_actions i]. *)
+
+val stride : t -> int -> int
+(** [stride g i] is the flat-index weight of player [i]'s action: changing
+    [i]'s action from [a] to [a'] moves the index by [(a' − a) · stride g i]. *)
+
+val shift_index : t -> int -> player:int -> from_:int -> to_:int -> int
+(** [shift_index g idx ~player ~from_ ~to_] is the flat index obtained from
+    [idx] by re-pointing [player]'s coordinate from action [from_] to
+    [to_] — O(1), the stride-delta update used by the deviation scanner.
+    A deviation touching [m] coordinates composes [m] shifts. *)
+
+val payoff_by_index : t -> int -> int -> float
+(** [payoff_by_index g idx i] is player [i]'s payoff at the profile with
+    flat index [idx] — a single table read. *)
+
+val payoff_row : t -> int -> float array
+(** The payoff vector at a flat index, {e without copying}: the returned
+    array is the table's own row and must not be mutated. *)
+
+val profile_of_index : t -> int -> int array
+(** Decode a flat index back into a fresh pure profile;
+    inverse of {!index_of}. *)
+
 val iter_profiles : t -> (int array -> unit) -> unit
 (** Iterate all pure profiles; the array passed to the callback is reused. *)
 
@@ -49,10 +84,12 @@ val map_payoffs : (int array -> float array -> float array) -> t -> t
 (** Pointwise payoff transformation (e.g. adding computation charges). *)
 
 val is_zero_sum : ?eps:float -> t -> bool
-(** Whether payoffs sum to (nearly) zero at every profile. *)
+(** Whether payoffs sum to (nearly) zero at every profile. Stops at the
+    first counterexample. *)
 
 val is_symmetric_2p : ?eps:float -> t -> bool
-(** For two-player games: whether [u1(i,j) = u2(j,i)] everywhere. *)
+(** For two-player games: whether [u1(i,j) = u2(j,i)] everywhere. Stops at
+    the first counterexample. *)
 
 val pp : Format.formatter -> t -> unit
 (** Render a two-player game as a payoff matrix, or a summary otherwise. *)

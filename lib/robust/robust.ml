@@ -20,15 +20,6 @@ let pp_violation ppf v =
     (String.concat "; " (List.map (fun (i, a) -> Printf.sprintf "%d:%d" i a) v.deviation))
     v.victim v.before v.after
 
-(* Apply a joint pure deviation to a mixed profile. *)
-let deviate g prof assignment =
-  let deviated = Array.copy prof in
-  List.iter
-    (fun (i, a) ->
-      deviated.(i) <- Mixed.pure ~num_actions:(Normal_form.num_actions g i) a)
-    assignment;
-  deviated
-
 let baseline g prof = Array.init (Normal_form.n_players g) (Mixed.expected_payoff g prof)
 
 (* All (C, T) pairs with disjoint C (≤ k) and T (≤ t), in the canonical
@@ -38,14 +29,18 @@ let coalition_traitor_pairs n ~k ~t =
   let coalitions = if k = 0 then [ [] ] else [] :: Bn_util.Combin.subsets_up_to n k in
   List.concat_map
     (fun coalition ->
-      let rest = List.filter (fun i -> not (List.mem i coalition)) (List.init n Fun.id) in
-      let rest_count = List.length rest in
+      let in_coalition = Array.make n false in
+      List.iter (fun i -> in_coalition.(i) <- true) coalition;
+      let rest =
+        Array.of_list (List.filter (fun i -> not in_coalition.(i)) (List.init n Fun.id))
+      in
+      let rest_count = Array.length rest in
       let traitor_sets =
         if t = 0 then [ [] ]
         else
           [] ::
           List.map
-            (List.map (fun idx -> List.nth rest idx))
+            (List.map (fun idx -> rest.(idx)))
             (Bn_util.Combin.subsets_up_to rest_count (min t rest_count))
       in
       List.filter_map
@@ -54,73 +49,156 @@ let coalition_traitor_pairs n ~k ~t =
         traitor_sets)
     coalitions
 
-let pool_of_jobs jobs = Bn_util.Pool.create ~domains:jobs ()
+let pool_of_jobs = function
+  | None -> Bn_util.Pool.serial
+  | Some j -> Bn_util.Pool.create ~domains:j ()
+
+exception Stop
+
+(* Scan every joint pure deviation by [deviators] from [prof] for the first
+   assignment on which [test] fires. Two evaluation strategies:
+
+   - pure base profile ([pure_p = Some p]): the base flat table index is
+     shifted by stride deltas as the assignment odometer advances — only
+     positions at or above the lowest changed coordinate are recomputed, so
+     each deviated payoff is a single O(1) table read, with no profile
+     copies and no per-assignment allocation;
+   - mixed base profile: one copy of the profile per deviator set, whose
+     deviator rows are point masses mutated in place as the odometer
+     advances; each evaluation is a support-product expectation, so its
+     cost scales with the non-deviators' support sizes only.
+
+   [test] receives [payoff_after] (deviated expected payoff per player) and
+   a lazy [assignment] thunk that materializes the (player, action) list
+   only when a hit is reported. *)
+let scan_assignments g ~dims ~prof ~pure_p ~deviators test =
+  let m = Array.length deviators in
+  let result = ref None in
+  let run payoff_after sync =
+    try
+      Bn_util.Combin.iter_joint_assignments deviators dims (fun acts changed ->
+          sync acts changed;
+          let assignment () =
+            Array.to_list (Array.mapi (fun j a -> (deviators.(j), a)) acts)
+          in
+          match test ~payoff_after ~assignment with
+          | Some _ as r ->
+            result := r;
+            raise Stop
+          | None -> ())
+    with Stop -> ()
+  in
+  (match pure_p with
+  | Some p ->
+    let base_idx = Normal_form.index_of g p in
+    let idx = ref base_idx in
+    (* pref.(j): flat index with deviations 0 … j applied to the base. *)
+    let pref = Array.make (max m 1) base_idx in
+    run
+      (fun i -> 0.0 +. Normal_form.payoff_by_index g !idx i)
+      (fun acts changed ->
+        for j = changed to m - 1 do
+          let prev = if j = 0 then base_idx else pref.(j - 1) in
+          let d = deviators.(j) in
+          pref.(j) <- Normal_form.shift_index g prev ~player:d ~from_:p.(d) ~to_:acts.(j)
+        done;
+        idx := if m = 0 then base_idx else pref.(m - 1))
+  | None ->
+    let deviated = Array.copy prof in
+    Array.iter
+      (fun d ->
+        let s = Array.make (Normal_form.num_actions g d) 0.0 in
+        s.(0) <- 1.0;
+        deviated.(d) <- s)
+      deviators;
+    let cur = Array.make (max m 1) 0 in
+    run
+      (fun i -> Mixed.expected_payoff g deviated i)
+      (fun acts changed ->
+        for j = changed to m - 1 do
+          if cur.(j) <> acts.(j) then begin
+            let s = deviated.(deviators.(j)) in
+            s.(cur.(j)) <- 0.0;
+            s.(acts.(j)) <- 1.0;
+            cur.(j) <- acts.(j)
+          end
+        done));
+  !result
 
 (* Search over disjoint C (≤ k), T (≤ t) and joint pure deviations by
-   C ∪ T for the first violation reported by [test]. The outer (C, T)
-   pairs are scanned on [jobs] domains; [Pool.find_first] returns the
+   C ∪ T for the first hit reported by [test]. The outer (C, T) pairs are
+   scanned on the pool's domains; [Pool.find_first] returns the
    lowest-index hit, so the reported violation is the one the serial
-   left-to-right scan would find, for any [jobs]. *)
-let search_deviations ?(jobs = 1) g ~k ~t test =
+   left-to-right scan would find, for any domain budget. *)
+let search_deviations ~pool g prof ~k ~t test =
   let n = Normal_form.n_players g in
   let dims = Normal_form.actions g in
+  let pure_p = Mixed.pure_actions prof in
   let pairs = Array.of_list (coalition_traitor_pairs n ~k ~t) in
-  Bn_util.Pool.find_first (pool_of_jobs jobs)
+  Bn_util.Pool.find_first pool
     (fun (coalition, traitors) ->
-      List.find_map
-        (fun assignment -> test ~coalition ~traitors assignment)
-        (Bn_util.Combin.joint_assignments (coalition @ traitors) dims))
+      let deviators = Array.of_list (coalition @ traitors) in
+      scan_assignments g ~dims ~prof ~pure_p ~deviators (test ~coalition ~traitors))
     pairs
 
-(* Does the deviated profile give the coalition a blocking gain? *)
-let blocking_gain variant ~eps g base deviated coalition =
-  let gains =
-    List.map
+(* Does the deviated profile give the coalition a blocking gain? Reports
+   the first gaining member in coalition order (the canonical victim). *)
+let blocking_gain variant ~eps base ~payoff_after coalition =
+  match variant with
+  | Strong ->
+    List.find_map
       (fun i ->
-        let after = Mixed.expected_payoff g deviated i in
-        (i, after, after > base.(i) +. eps))
+        let after = payoff_after i in
+        if after > base.(i) +. eps then Some (i, after) else None)
       coalition
-  in
-  let blocked =
-    match variant with
-    | Strong -> List.exists (fun (_, _, gained) -> gained) gains
-    | Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
-  in
-  if blocked then
-    let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
-    Some (victim, after)
-  else None
+  | Weak -> (
+    match coalition with
+    | [] -> None
+    | first :: rest ->
+      let after = payoff_after first in
+      if
+        after > base.(first) +. eps
+        && List.for_all (fun i -> payoff_after i > base.(i) +. eps) rest
+      then Some (first, after)
+      else None)
 
 let verdict_of = function Some v -> Fails v | None -> Holds
 
+let resilience_violation ~variant ~eps ~pool g prof ~base ~k ~t =
+  search_deviations ~pool g prof ~k ~t
+    (fun ~coalition ~traitors ~payoff_after ~assignment ->
+      Option.map
+        (fun (victim, after) ->
+          { coalition; traitors; deviation = assignment (); victim;
+            before = base.(victim); after })
+        (blocking_gain variant ~eps base ~payoff_after coalition))
+
+let immunity_violation ~eps ~pool g prof ~base ~t =
+  let n = Normal_form.n_players g in
+  search_deviations ~pool g prof ~k:0 ~t
+    (fun ~coalition:_ ~traitors ~payoff_after ~assignment ->
+      let rec first_victim i =
+        if i >= n then None
+        else if List.mem i traitors then first_victim (i + 1)
+        else
+          let after = payoff_after i in
+          if after < base.(i) -. eps then
+            Some
+              { coalition = []; traitors; deviation = assignment (); victim = i;
+                before = base.(i); after }
+          else first_victim (i + 1)
+      in
+      first_victim 0)
+
 let check_resilience ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k =
+  let pool = pool_of_jobs jobs in
   let base = baseline g prof in
-  verdict_of
-    (search_deviations ?jobs g ~k ~t:0 (fun ~coalition ~traitors:_ assignment ->
-         let deviated = deviate g prof assignment in
-         Option.map
-           (fun (victim, after) ->
-             { coalition; traitors = []; deviation = assignment; victim;
-               before = base.(victim); after })
-           (blocking_gain variant ~eps g base deviated coalition)))
+  verdict_of (resilience_violation ~variant ~eps ~pool g prof ~base ~k ~t:0)
 
 let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
+  let pool = pool_of_jobs jobs in
   let base = baseline g prof in
-  let n = Normal_form.n_players g in
-  verdict_of
-    (search_deviations ?jobs g ~k:0 ~t (fun ~coalition:_ ~traitors assignment ->
-         let deviated = deviate g prof assignment in
-         List.find_map
-           (fun i ->
-             if List.mem i traitors then None
-             else
-               let after = Mixed.expected_payoff g deviated i in
-               if after < base.(i) -. eps then
-                 Some
-                   { coalition = []; traitors; deviation = assignment; victim = i;
-                     before = base.(i); after }
-               else None)
-           (List.init n Fun.id)))
+  verdict_of (immunity_violation ~eps ~pool g prof ~base ~t)
 
 (* (k,t)-robustness combines two guarantees (ADGH):
    - resilience side: no coalition C (|C| ≤ k) profits from a joint
@@ -130,20 +208,14 @@ let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
      non-deviator. The immunity condition concerns only the faulty set T —
      rational players follow the equilibrium, so outsiders need no
      protection from C; this is what makes (1,0)-robustness coincide
-     exactly with Nash equilibrium. *)
+     exactly with Nash equilibrium.
+   The pool and the baseline are built once and shared by both sides. *)
 let check_robustness ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k ~t =
+  let pool = pool_of_jobs jobs in
   let base = baseline g prof in
-  match check_immunity ~eps ?jobs g prof ~t with
-  | Fails v -> Fails v
-  | Holds ->
-    verdict_of
-      (search_deviations ?jobs g ~k ~t (fun ~coalition ~traitors assignment ->
-           let deviated = deviate g prof assignment in
-           Option.map
-             (fun (victim, after) ->
-               { coalition; traitors; deviation = assignment; victim;
-                 before = base.(victim); after })
-             (blocking_gain variant ~eps g base deviated coalition)))
+  match immunity_violation ~eps ~pool g prof ~base ~t with
+  | Some v -> Fails v
+  | None -> verdict_of (resilience_violation ~variant ~eps ~pool g prof ~base ~k ~t)
 
 let is_k_resilient ?variant ?eps ?jobs g prof ~k =
   match check_resilience ?variant ?eps ?jobs g prof ~k with Holds -> true | Fails _ -> false
@@ -171,19 +243,26 @@ let max_immunity ?eps ?jobs g prof =
   go 0
 
 let robust_pure_equilibria ?variant ?eps ?jobs g ~k ~t =
+  (* One pool for the whole sweep: profiles are scanned in parallel, each
+     per-profile check running serially inside its worker. The result list
+     order (row-major) is preserved by [Pool.map_array]. *)
+  let pool = pool_of_jobs jobs in
+  let profs = Array.of_list (Normal_form.profiles g) in
+  let robust =
+    Bn_util.Pool.map_array pool
+      (fun p -> is_robust ?variant ?eps g (Mixed.pure_profile g p) ~k ~t)
+      profs
+  in
   let acc = ref [] in
-  Normal_form.iter_profiles g (fun p ->
-      let prof = Mixed.pure_profile g p in
-      if is_robust ?variant ?eps ?jobs g prof ~k ~t then acc := Array.copy p :: !acc);
+  Array.iteri (fun i p -> if robust.(i) then acc := p :: !acc) profs;
   List.rev !acc
 
-let find_punishment ?(eps = 1e-9) g ~target ~budget =
+let find_punishment ?(eps = 1e-9) ?jobs g ~target ~budget =
   let n = Normal_form.n_players g in
   if Array.length target <> n then invalid_arg "Robust.find_punishment: target arity";
-  let escapes deviated =
-    let rec go i =
-      i < n && (Mixed.expected_payoff g deviated i >= target.(i) -. eps || go (i + 1))
-    in
+  let pool = pool_of_jobs jobs in
+  let escapes payoff_after =
+    let rec go i = i < n && (payoff_after i >= target.(i) -. eps || go (i + 1)) in
     go 0
   in
   let qualifies rho =
@@ -191,17 +270,13 @@ let find_punishment ?(eps = 1e-9) g ~target ~budget =
     (* Every player strictly below target at the base profile and under
        deviations by any ≤ budget players (who may also be punished players
        trying to escape). *)
-    (not (escapes prof))
+    (not (escapes (Mixed.expected_payoff g prof)))
     && Option.is_none
-         (search_deviations g ~k:budget ~t:0 (fun ~coalition:_ ~traitors:_ assignment ->
-              if escapes (deviate g prof assignment) then Some () else None))
+         (search_deviations ~pool:Bn_util.Pool.serial g prof ~k:budget ~t:0
+            (fun ~coalition:_ ~traitors:_ ~payoff_after ~assignment:_ ->
+              if escapes payoff_after then Some () else None))
   in
-  let result = ref None in
-  (try
-     Normal_form.iter_profiles g (fun p ->
-         if qualifies p then begin
-           result := Some (Array.copy p);
-           raise Exit
-         end)
-   with Exit -> ());
-  !result
+  (* The profile sweep shares the pool; [Pool.find_first] keeps the answer
+     the first qualifying profile in row-major order, as the serial scan. *)
+  let profs = Array.of_list (Normal_form.profiles g) in
+  Bn_util.Pool.find_first pool (fun p -> if qualifies p then Some p else None) profs

@@ -48,9 +48,16 @@ val check_resilience :
     [Strong] is the Nash condition.
 
     All checkers take [?jobs] (default 1): the outermost coalition/traitor
-    enumeration is chunked over that many domains via {!Bn_util.Pool}. The
-    verdict — including {e which} violation is reported — is identical to
-    the serial scan for every [jobs] value. *)
+    enumeration is chunked over that many domains via {!Bn_util.Pool} (one
+    pool per check, shared by the immunity and resilience sides of
+    {!check_robustness}). The verdict — including {e which} violation is
+    reported — is identical to the serial scan for every [jobs] value.
+
+    Deviated payoffs are evaluated through the support-product kernel:
+    for a pure base profile every evaluation is a single table read behind
+    a stride-shifted flat index (no profile copies, no per-assignment
+    allocation); for mixed base profiles the cost scales with the
+    non-deviators' support sizes instead of the full action grid. *)
 
 val check_immunity :
   ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t -> Bn_game.Mixed.profile ->
@@ -89,14 +96,19 @@ val max_immunity :
 val robust_pure_equilibria :
   ?variant:variant -> ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t ->
   k:int -> t:int -> int array list
-(** All pure profiles that are (k,t)-robust equilibria. *)
+(** All pure profiles that are (k,t)-robust equilibria. The profile sweep
+    itself is chunked over one shared pool ([?jobs] domains); each
+    per-profile check runs serially inside its worker, and the result list
+    is in row-major profile order for every [jobs]. *)
 
 val find_punishment :
-  ?eps:float -> Bn_game.Normal_form.t -> target:float array -> budget:int ->
-  int array option
+  ?eps:float -> ?jobs:int -> Bn_game.Normal_form.t -> target:float array ->
+  budget:int -> int array option
 (** A pure {e punishment profile} ρ: if everyone but at most [budget]
     players plays ρ, then {e every} player ends up strictly below its
     [target] utility (the equilibrium payoffs), no matter what the ≤
     [budget] deviators do. This is the (k+t)-punishment strategy required
-    by the mediator characterization. Exhaustive search; [None] if no pure
-    profile qualifies. *)
+    by the mediator characterization. Exhaustive search, chunked over
+    [?jobs] domains with one shared pool; the answer is the first
+    qualifying profile in row-major order for every [jobs]. [None] if no
+    pure profile qualifies. *)

@@ -46,6 +46,31 @@ let profiles dims =
   iter_profiles dims (fun p -> acc := Array.copy p :: !acc);
   List.rev !acc
 
+let iter_joint_assignments members dims f =
+  let m = Array.length members in
+  if m = 0 then f [||] 0
+  else begin
+    let acts = Array.make m 0 in
+    let continue = ref true in
+    let changed = ref 0 in
+    while !continue do
+      f acts !changed;
+      let rec bump j =
+        if j < 0 then false
+        else if acts.(j) + 1 < dims.(members.(j)) then begin
+          acts.(j) <- acts.(j) + 1;
+          changed := j;
+          true
+        end
+        else begin
+          acts.(j) <- 0;
+          bump (j - 1)
+        end
+      in
+      continue := bump (m - 1)
+    done
+  end
+
 let joint_assignments members dims =
   let rec go = function
     | [] -> [ [] ]

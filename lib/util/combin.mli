@@ -23,5 +23,17 @@ val joint_assignments : int list -> int array -> (int * int) list list
     indices [members], every joint assignment of an action in
     [0 … dims.(i)−1] to each member [i], as association lists. *)
 
+val iter_joint_assignments : int array -> int array -> (int array -> int -> unit) -> unit
+(** In-place iteration form of {!joint_assignments}: enumerates every joint
+    assignment to [members] (an array of player indices) in the same
+    row-major order — first member outermost — without materializing any
+    list. The callback receives [acts] (the action of [members.(j)] is
+    [acts.(j)]; the array is reused, copy if kept) and the lowest position
+    [j] whose action changed since the previous call (positions above [j]
+    were reset to 0; [0] on the first call), which lets callers maintain
+    prefix state — e.g. an incrementally shifted flat payoff index — in
+    amortized O(1) per assignment. Empty [members] yields the single empty
+    assignment. *)
+
 val binomial : int -> int -> int
 (** Binomial coefficient (exact, for small arguments). *)

@@ -41,6 +41,49 @@ let test_map_payoffs () =
   let shifted = B.Normal_form.map_payoffs (fun _ u -> Array.map (fun x -> x +. 10.0) u) B.Games.prisoners_dilemma in
   check_float "shifted CC" 13.0 (B.Normal_form.payoff shifted [| 0; 0 |] 0)
 
+(* Asymmetric action counts so every stride is distinct. *)
+let asym_game () =
+  B.Normal_form.create ~actions:[| 2; 3; 4 |] (fun p ->
+      let x = float_of_int ((p.(0) * 100) + (p.(1) * 10) + p.(2)) in
+      [| x; -.x; 2.0 *. x |])
+
+let test_index_roundtrip () =
+  let g = asym_game () in
+  Alcotest.(check int) "table size" 24 (B.Normal_form.table_size g);
+  B.Normal_form.iter_profiles g (fun p ->
+      let idx = B.Normal_form.index_of g p in
+      Alcotest.(check (array int)) "decode(encode p) = p" (Array.copy p)
+        (B.Normal_form.profile_of_index g idx);
+      check_float "payoff via index" (B.Normal_form.payoff g p 1)
+        (B.Normal_form.payoff_by_index g idx 1))
+
+let test_shift_index () =
+  let g = asym_game () in
+  let p = [| 0; 2; 1 |] in
+  let idx = B.Normal_form.index_of g p in
+  (* Re-point player 1 from 2 to 0: same as re-encoding the edited profile. *)
+  let shifted = B.Normal_form.shift_index g idx ~player:1 ~from_:2 ~to_:0 in
+  Alcotest.(check int) "shift = re-encode" (B.Normal_form.index_of g [| 0; 0; 1 |]) shifted;
+  (* Composing m shifts applies an m-coordinate deviation. *)
+  let shifted2 = B.Normal_form.shift_index g shifted ~player:0 ~from_:0 ~to_:1 in
+  Alcotest.(check int) "two shifts" (B.Normal_form.index_of g [| 1; 0; 1 |]) shifted2
+
+let test_payoff_row () =
+  let g = B.Games.prisoners_dilemma in
+  let idx = B.Normal_form.index_of g [| 1; 0 |] in
+  let row = B.Normal_form.payoff_row g idx in
+  check_float "row player" 5.0 row.(0);
+  check_float "col player" (-5.0) row.(1)
+
+let test_early_exit_predicates () =
+  (* A counterexample in the very first cell must still be caught. *)
+  let g =
+    B.Normal_form.create ~actions:[| 2; 2 |] (fun p ->
+        if p.(0) = 0 && p.(1) = 0 then [| 1.0; 1.0 |] else [| 1.0; -1.0 |])
+  in
+  Alcotest.(check bool) "not zero-sum (first profile)" false (B.Normal_form.is_zero_sum g);
+  Alcotest.(check bool) "roshambo symmetric" true (B.Normal_form.is_symmetric_2p B.Games.roshambo)
+
 (* {1 Mixed} *)
 
 let test_mixed_pure () =
@@ -74,6 +117,79 @@ let test_outcome_dist () =
 
 let test_support () =
   Alcotest.(check (list int)) "support" [ 0; 2 ] (B.Mixed.support [| 0.5; 0.0; 0.5 |])
+
+let test_point_mass () =
+  Alcotest.(check (option int)) "pure 1" (Some 1) (B.Mixed.point_mass (B.Mixed.pure ~num_actions:3 1));
+  Alcotest.(check (option int)) "mixed" None (B.Mixed.point_mass [| 0.5; 0.5 |]);
+  Alcotest.(check (option int)) "almost pure" None (B.Mixed.point_mass [| 1e-12; 1.0 -. 1e-12 |]);
+  let g = B.Games.prisoners_dilemma in
+  Alcotest.(check (option (array int))) "pure profile" (Some [| 1; 0 |])
+    (B.Mixed.pure_actions (B.Mixed.pure_profile g [| 1; 0 |]));
+  Alcotest.(check (option (array int))) "uniform profile" None
+    (B.Mixed.pure_actions (B.Mixed.uniform_profile g))
+
+(* {2 Support-product kernel vs full-scan reference}
+
+   [expected_payoff] must agree with [expected_payoff_naive] {e exactly} —
+   the support product performs the same multiplications and additions in
+   the same order, so the comparison below is on raw float equality, not an
+   epsilon. *)
+
+(* Random 3-player 2×3×2 game plus a mixed profile carved from the same
+   draw: entries below the activity threshold are zeroed, exercising sparse
+   supports (and occasionally empty ones, where both sides must return 0). *)
+let kernel_case_of_draw payoffs =
+  let g =
+    B.Normal_form.create ~actions:[| 2; 3; 2 |] (fun p ->
+        let idx = (p.(0) * 6) + (p.(1) * 2) + p.(2) in
+        [| payoffs.(idx); payoffs.((idx + 7) mod 12); payoffs.((idx + 3) mod 12) |])
+  in
+  let dims = [| 2; 3; 2 |] in
+  let prof =
+    Array.init 3 (fun i ->
+        let s =
+          Array.init dims.(i) (fun a ->
+              let x = payoffs.(((i * 3) + a + 5) mod 12) in
+              if x < 0.0 then 0.0 else x)
+        in
+        if Array.for_all (( = ) 0.0) s then s.(0) <- 1.0;
+        s)
+  in
+  (g, prof)
+
+let payoff_kernel_agreement_property =
+  QCheck.Test.make ~count:200 ~name:"mixed: expected_payoff = expected_payoff_naive (bitwise)"
+    QCheck.(array_of_size (Gen.return 12) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g, prof = kernel_case_of_draw payoffs in
+      let agree p =
+        List.for_all
+          (fun i -> B.Mixed.expected_payoff g p i = B.Mixed.expected_payoff_naive g p i)
+          [ 0; 1; 2 ]
+      in
+      (* the random sparse profile, the uniform profile and every pure
+         profile (the O(1) fast path) *)
+      let ok = ref (agree prof && agree (B.Mixed.uniform_profile g)) in
+      B.Normal_form.iter_profiles g (fun p ->
+          if not (agree (B.Mixed.pure_profile g p)) then ok := false);
+      !ok)
+
+let outcome_dist_support_property =
+  QCheck.Test.make ~count:100 ~name:"mixed: outcome_dist enumerates exactly the support product"
+    QCheck.(array_of_size (Gen.return 12) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g, prof = kernel_case_of_draw payoffs in
+      let expected = ref [] in
+      B.Normal_form.iter_profiles g (fun p ->
+          let pr = Array.to_list (Array.mapi (fun i a -> prof.(i).(a)) p)
+                   |> List.fold_left ( *. ) 1.0 in
+          if pr > 0.0 then expected := (Array.copy p, pr) :: !expected);
+      let total = List.fold_left (fun acc (_, pr) -> acc +. pr) 0.0 !expected in
+      let d = B.Mixed.outcome_dist g prof in
+      List.length (B.Dist.support d) = List.length !expected
+      && List.for_all
+           (fun (p, pr) -> Float.abs (B.Dist.mass d p -. (pr /. total)) <= 1e-12)
+           !expected)
 
 (* {1 Nash} *)
 
@@ -250,6 +366,10 @@ let suite =
     Alcotest.test_case "normal form: zero-sum detect" `Quick test_zero_sum_detection;
     Alcotest.test_case "normal form: symmetric detect" `Quick test_symmetric_detection;
     Alcotest.test_case "normal form: map payoffs" `Quick test_map_payoffs;
+    Alcotest.test_case "normal form: index roundtrip" `Quick test_index_roundtrip;
+    Alcotest.test_case "normal form: shift index" `Quick test_shift_index;
+    Alcotest.test_case "normal form: payoff row" `Quick test_payoff_row;
+    Alcotest.test_case "normal form: early-exit predicates" `Quick test_early_exit_predicates;
     Alcotest.test_case "mixed: pure" `Quick test_mixed_pure;
     Alcotest.test_case "mixed: validity" `Quick test_mixed_validity;
     Alcotest.test_case "mixed: uniform MP" `Quick test_expected_payoff_uniform_mp;
@@ -257,6 +377,9 @@ let suite =
     Alcotest.test_case "mixed: pure deviation" `Quick test_expected_vs_pure_deviation;
     Alcotest.test_case "mixed: outcome dist" `Quick test_outcome_dist;
     Alcotest.test_case "mixed: support" `Quick test_support;
+    Alcotest.test_case "mixed: point mass" `Quick test_point_mass;
+    QCheck_alcotest.to_alcotest payoff_kernel_agreement_property;
+    QCheck_alcotest.to_alcotest outcome_dist_support_property;
     Alcotest.test_case "nash: PD unique" `Quick test_pd_unique_pure_nash;
     Alcotest.test_case "nash: BoS three equilibria" `Quick test_bos_equilibria;
     Alcotest.test_case "nash: MP unique mixed" `Quick test_mp_unique_mixed;

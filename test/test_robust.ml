@@ -208,6 +208,162 @@ let k1_resilience_is_unilateral_nash_property =
           if R.is_k_resilient ~jobs:4 g prof ~k:1 <> unilaterally_stable prof then ok := false);
       !ok)
 
+(* {1 Kernel-swap agreement}
+
+   [Ref_impl] is the pre-optimization robustness checker: list-materialized
+   joint assignments ([Combin.joint_assignments]), a fresh profile copy per
+   assignment and full-scan [expected_payoff_naive] evaluations. The
+   production kernel (stride-shifted table reads on pure profiles,
+   support-product expectations on mixed ones) must agree with it
+   verdict-for-verdict — including {e which} violation is reported. *)
+module Ref_impl = struct
+  let deviate g prof assignment =
+    let deviated = Array.copy prof in
+    List.iter
+      (fun (i, a) -> deviated.(i) <- B.Mixed.pure ~num_actions:(B.Normal_form.num_actions g i) a)
+      assignment;
+    deviated
+
+  let baseline g prof =
+    Array.init (B.Normal_form.n_players g) (B.Mixed.expected_payoff_naive g prof)
+
+  let coalition_traitor_pairs n ~k ~t =
+    let coalitions = if k = 0 then [ [] ] else [] :: B.Combin.subsets_up_to n k in
+    List.concat_map
+      (fun coalition ->
+        let rest = List.filter (fun i -> not (List.mem i coalition)) (List.init n Fun.id) in
+        let rest_count = List.length rest in
+        let traitor_sets =
+          if t = 0 then [ [] ]
+          else
+            [] ::
+            List.map
+              (List.map (fun idx -> List.nth rest idx))
+              (B.Combin.subsets_up_to rest_count (min t rest_count))
+        in
+        List.filter_map
+          (fun traitors ->
+            if coalition = [] && traitors = [] then None else Some (coalition, traitors))
+          traitor_sets)
+      coalitions
+
+  let search_deviations g ~k ~t test =
+    let n = B.Normal_form.n_players g in
+    let dims = B.Normal_form.actions g in
+    List.find_map
+      (fun (coalition, traitors) ->
+        List.find_map
+          (fun assignment -> test ~coalition ~traitors assignment)
+          (B.Combin.joint_assignments (coalition @ traitors) dims))
+      (coalition_traitor_pairs n ~k ~t)
+
+  let blocking_gain variant ~eps g base deviated coalition =
+    let gains =
+      List.map
+        (fun i ->
+          let after = B.Mixed.expected_payoff_naive g deviated i in
+          (i, after, after > base.(i) +. eps))
+        coalition
+    in
+    let blocked =
+      match variant with
+      | R.Strong -> List.exists (fun (_, _, gained) -> gained) gains
+      | R.Weak -> gains <> [] && List.for_all (fun (_, _, gained) -> gained) gains
+    in
+    if blocked then
+      let victim, after, _ = List.find (fun (_, _, gained) -> gained) gains in
+      Some (victim, after)
+    else None
+
+  let verdict_of = function Some v -> R.Fails v | None -> R.Holds
+
+  let check_immunity ?(eps = 1e-9) g prof ~t =
+    let base = baseline g prof in
+    let n = B.Normal_form.n_players g in
+    verdict_of
+      (search_deviations g ~k:0 ~t (fun ~coalition:_ ~traitors assignment ->
+           let deviated = deviate g prof assignment in
+           List.find_map
+             (fun i ->
+               if List.mem i traitors then None
+               else
+                 let after = B.Mixed.expected_payoff_naive g deviated i in
+                 if after < base.(i) -. eps then
+                   Some
+                     { R.coalition = []; traitors; deviation = assignment; victim = i;
+                       before = base.(i); after }
+                 else None)
+             (List.init n Fun.id)))
+
+  let check_robustness ?(variant = R.Strong) ?(eps = 1e-9) g prof ~k ~t =
+    let base = baseline g prof in
+    match check_immunity ~eps g prof ~t with
+    | R.Fails v -> R.Fails v
+    | R.Holds ->
+      verdict_of
+        (search_deviations g ~k ~t (fun ~coalition ~traitors assignment ->
+             let deviated = deviate g prof assignment in
+             Option.map
+               (fun (victim, after) ->
+                 { R.coalition; traitors; deviation = assignment; victim;
+                   before = base.(victim); after })
+               (blocking_gain variant ~eps g base deviated coalition)))
+
+  let check_resilience ?variant ?eps g prof ~k = check_robustness ?variant ?eps g prof ~k ~t:0
+end
+
+(* A mixed profile carved from the same payoff draw: negative entries
+   zeroed (sparse supports), degenerate rows replaced by a point mass. *)
+let mixed_profile_of_draw payoffs =
+  Array.init 3 (fun i ->
+      let s =
+        Array.init 2 (fun a ->
+            let x = payoffs.(((i * 2) + a + 1) mod 8) in
+            if x < 0.0 then 0.0 else x)
+      in
+      let total = s.(0) +. s.(1) in
+      if total = 0.0 then [| 1.0; 0.0 |] else [| s.(0) /. total; s.(1) /. total |])
+
+let kernel_agreement_pure_property =
+  QCheck.Test.make ~count:60
+    ~name:"robust: kernel verdicts (incl. witness) = pre-swap reference, pure profiles"
+    QCheck.(array_of_size (Gen.return 8) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g = random_game payoffs in
+      let ok = ref true in
+      B.Normal_form.iter_profiles g (fun p ->
+          let prof = B.Mixed.pure_profile g p in
+          if
+            R.check_robustness g prof ~k:2 ~t:1 <> Ref_impl.check_robustness g prof ~k:2 ~t:1
+            || R.check_resilience g prof ~k:2 <> Ref_impl.check_resilience g prof ~k:2
+            || R.check_resilience ~variant:R.Weak g prof ~k:2
+               <> Ref_impl.check_resilience ~variant:R.Weak g prof ~k:2
+            || R.check_immunity g prof ~t:2 <> Ref_impl.check_immunity g prof ~t:2
+          then ok := false);
+      !ok)
+
+let kernel_agreement_mixed_property =
+  QCheck.Test.make ~count:60
+    ~name:"robust: kernel verdicts (incl. witness) = pre-swap reference, mixed profiles"
+    QCheck.(array_of_size (Gen.return 8) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g = random_game payoffs in
+      let prof = mixed_profile_of_draw payoffs in
+      R.check_robustness g prof ~k:2 ~t:1 = Ref_impl.check_robustness g prof ~k:2 ~t:1
+      && R.check_resilience g prof ~k:2 = Ref_impl.check_resilience g prof ~k:2
+      && R.check_immunity g prof ~t:1 = Ref_impl.check_immunity g prof ~t:1)
+
+let test_sweep_jobs_threading () =
+  (* The profile sweeps share one pool; parallel must equal serial exactly. *)
+  let g = B.Games.bargaining 4 in
+  let eq_serial = R.robust_pure_equilibria g ~k:2 ~t:0 in
+  let eq_par = R.robust_pure_equilibria ~jobs:4 g ~k:2 ~t:0 in
+  Alcotest.(check (list (array int))) "robust_pure_equilibria jobs=4 = serial" eq_serial eq_par;
+  let target = Array.make 4 2.0 in
+  let pun_serial = R.find_punishment g ~target ~budget:1 in
+  let pun_par = R.find_punishment ~jobs:4 g ~target ~budget:1 in
+  Alcotest.(check (option (array int))) "find_punishment jobs=4 = serial" pun_serial pun_par
+
 let suite =
   [
     Alcotest.test_case "coordination: Nash, not 2-resilient" `Quick
@@ -226,6 +382,9 @@ let suite =
     Alcotest.test_case "punishment: bargaining" `Quick test_punishment_bargaining;
     Alcotest.test_case "punishment: impossible" `Quick test_punishment_impossible;
     Alcotest.test_case "mixed profile robustness" `Quick test_mixed_profile_robustness;
+    Alcotest.test_case "sweeps: jobs threading" `Quick test_sweep_jobs_threading;
+    QCheck_alcotest.to_alcotest kernel_agreement_pure_property;
+    QCheck_alcotest.to_alcotest kernel_agreement_mixed_property;
     QCheck_alcotest.to_alcotest resilience_monotone_property;
     QCheck_alcotest.to_alcotest immunity_monotone_property;
     QCheck_alcotest.to_alcotest nash_iff_1resilient_property;
