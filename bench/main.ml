@@ -124,6 +124,14 @@ let bench_replicator =
     (Staged.stage (fun () ->
          ignore (B.Learning.replicator ~rounds:500 B.Games.prisoners_dilemma)))
 
+(* Schedule exploration end-to-end: 20 seeded fault schedules against EIG
+   at n = 3t, invariant checking plus greedy shrinking of the violations
+   it finds (roughly two thirds of the schedules violate). *)
+let bench_fault_explore =
+  Test.make ~name:"faults/explore-eig-n3-t1-20"
+    (Staged.stage (fun () ->
+         ignore (Bn_experiments.Fault_sweep.explore_eig_n3t1 ~seed:42 ~trials:20 ())))
+
 let microbenches =
   Test.make_grouped ~name:"beyond_nash" ~fmt:"%s %s"
     [
@@ -142,6 +150,7 @@ let microbenches =
       bench_rationalizable;
       bench_phase_king;
       bench_replicator;
+      bench_fault_explore;
     ]
 
 (* Runs the suite, prints the table and returns [(name, ns_per_run)] rows

@@ -91,8 +91,55 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a 2-player bimatrix game (Nash, correlated, rationalizability).")
     Term.(ret (const run $ spec))
 
+(* Fault injection / schedule exploration, exposed as top-level options so
+   `main.exe --explore 200 --seed 42` replays are copy-pasteable from the
+   explorer's transcripts. Output is byte-identical across runs and for
+   any -j. *)
+let explore_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "explore" ] ~docv:"N"
+        ~doc:
+          "Run the fault-schedule exploration sweep: $(docv) seeded random fault \
+           schedules per protocol config, checking agreement/validity invariants and \
+           shrinking every violation to a minimal counterexample.")
+
+let faults_arg =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:"Inject one seeded random fault schedule into EIG and show its effect.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Base seed for --explore/--faults; trial $(i,i) draws from split stream $(i,i).")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Restrict --explore to the small (CI smoke) config subset.")
+
+let default_term =
+  let run explore faults seed quick jobs =
+    match (explore, faults) with
+    | None, false -> `Help (`Pager, None)
+    | _ ->
+      if faults then Bn_experiments.Fault_sweep.demo ~seed ();
+      Option.iter
+        (fun trials -> Bn_experiments.Fault_sweep.render ~jobs ~quick ~trials ~seed ())
+        explore;
+      `Ok ()
+  in
+  Term.(ret (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ jobs_arg))
+
 let main =
   let doc = "Reproduction of Halpern's `Beyond Nash Equilibrium' (PODC 2008)." in
-  Cmd.group (Cmd.info "beyond-nash" ~version:"1.0.0" ~doc) [ list_cmd; exp_cmd; all_cmd; classify_cmd; solve_cmd ]
+  Cmd.group
+    (Cmd.info "beyond-nash" ~version:"1.0.0" ~doc)
+    ~default:default_term
+    [ list_cmd; exp_cmd; all_cmd; classify_cmd; solve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -65,8 +65,8 @@ let protocol ~pki ~n:_ ~t ~sender ~value ~default =
   in
   { Sync_net.init; send; recv; output }
 
-let run ?adversary ~pki ~n ~t ~sender ~value ~default () =
-  Sync_net.run ?adversary ~n ~rounds:(t + 1) (protocol ~pki ~n ~t ~sender ~value ~default)
+let run ?adversary ?faults ~pki ~n ~t ~sender ~value ~default () =
+  Sync_net.run ?adversary ?faults ~n ~rounds:(t + 1) (protocol ~pki ~n ~t ~sender ~value ~default)
 
 let equivocating_sender ~pki ~sender ~n =
   let behave ~round ~me ~inbox:_ =

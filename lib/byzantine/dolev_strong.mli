@@ -29,6 +29,7 @@ val protocol :
 
 val run :
   ?adversary:msg Bn_dist_sim.Sync_net.adversary ->
+  ?faults:msg Bn_dist_sim.Sync_net.fault_plan ->
   pki:Bn_crypto.Hashing.Pki.t ->
   n:int -> t:int -> sender:int -> value:int -> default:int -> unit ->
   int Bn_dist_sim.Sync_net.result

@@ -79,8 +79,8 @@ let protocol ~n ~t ~values ~default =
   in
   { Bn_dist_sim.Sync_net.init; send; recv; output }
 
-let run ?adversary ~n ~t ~values ~default () =
-  Bn_dist_sim.Sync_net.run ?adversary ~n ~rounds:(t + 1) (protocol ~n ~t ~values ~default)
+let run ?adversary ?faults ~n ~t ~values ~default () =
+  Bn_dist_sim.Sync_net.run ?adversary ?faults ~n ~rounds:(t + 1) (protocol ~n ~t ~values ~default)
 
 (* All paths of distinct ids not containing [me], of a given length, over
    processes 0..n-1. Used by adversaries to fabricate claims. *)

@@ -25,9 +25,11 @@ val protocol :
 
 val run :
   ?adversary:msg Bn_dist_sim.Sync_net.adversary ->
+  ?faults:msg Bn_dist_sim.Sync_net.fault_plan ->
   n:int -> t:int -> values:int array -> default:int -> unit ->
   int Bn_dist_sim.Sync_net.result
-(** Convenience: run the protocol for exactly [t+1] rounds. *)
+(** Convenience: run the protocol for exactly [t+1] rounds, optionally
+    under an environment fault plan (see {!Bn_dist_sim.Faults}). *)
 
 val lying_adversary : n:int -> corrupted:int list -> claim:int -> msg Bn_dist_sim.Sync_net.adversary
 (** Adversary whose corrupted processes claim, at every level, that

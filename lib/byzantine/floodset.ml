@@ -18,8 +18,8 @@ let protocol ~n:_ ~f:_ ~values =
   in
   { Sync_net.init; send; recv; output }
 
-let run ?adversary ~n ~f ~values () =
-  Sync_net.run ?adversary ~n ~rounds:(f + 1) (protocol ~n ~f ~values)
+let run ?adversary ?faults ~n ~f ~values () =
+  Sync_net.run ?adversary ?faults ~n ~rounds:(f + 1) (protocol ~n ~f ~values)
 
 let crash_after ~rng ~n ~corrupted ~values ~round =
   let behave ~round:r ~me ~inbox:_ =

@@ -18,6 +18,7 @@ val protocol :
 
 val run :
   ?adversary:msg Bn_dist_sim.Sync_net.adversary ->
+  ?faults:msg Bn_dist_sim.Sync_net.fault_plan ->
   n:int -> f:int -> values:int array -> unit ->
   int Bn_dist_sim.Sync_net.result
 (** Runs f+1 rounds; decides min of the seen set. *)

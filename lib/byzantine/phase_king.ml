@@ -56,8 +56,8 @@ let protocol ~n ~t ~values =
   let output ~me:_ st = Some st.value in
   { Sync_net.init; send; recv; output }
 
-let run ?adversary ~n ~t ~values () =
-  Sync_net.run ?adversary ~n ~rounds:(2 * (t + 1)) (protocol ~n ~t ~values)
+let run ?adversary ?faults ~n ~t ~values () =
+  Sync_net.run ?adversary ?faults ~n ~rounds:(2 * (t + 1)) (protocol ~n ~t ~values)
 
 let lying_adversary ~corrupted ~claim =
   let behave ~round ~me:_ ~inbox:_ =

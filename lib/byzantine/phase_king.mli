@@ -16,6 +16,7 @@ val protocol :
 
 val run :
   ?adversary:msg Bn_dist_sim.Sync_net.adversary ->
+  ?faults:msg Bn_dist_sim.Sync_net.fault_plan ->
   n:int -> t:int -> values:int array -> unit ->
   int Bn_dist_sim.Sync_net.result
 (** Runs 2(t+1) rounds. *)

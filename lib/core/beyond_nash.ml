@@ -48,6 +48,8 @@ module Rational_ss = Bn_mediator.Rational_ss
 module Sunspot = Bn_mediator.Sunspot
 module Sync_net = Bn_dist_sim.Sync_net
 module Async_net = Bn_dist_sim.Async_net
+module Faults = Bn_dist_sim.Faults
+module Explore = Bn_dist_sim.Explore
 module Eig = Bn_byzantine.Eig
 module Dolev_strong = Bn_byzantine.Dolev_strong
 module Phase_king = Bn_byzantine.Phase_king

@@ -21,13 +21,24 @@ let delayer ~victim ~budget pending =
   end
   else fifo pending
 
+(* Environment faults for the asynchronous network: once the scheduler has
+   committed to delivering a message, the filter may still [Drop] it (it
+   vanishes — no retransmission) or [Duplicate] it (delivered now and
+   re-enqueued as a fresh in-flight copy). [step] is the 0-based delivery
+   step, so filters driven by a {!Bn_util.Prng} stream are deterministic
+   for a fixed seed and scheduler. *)
+type fault_verdict = Deliver | Drop | Duplicate
+
+type 'm fault_filter = step:int -> 'm in_flight -> fault_verdict
+
 type 'o result = {
   decisions : 'o option array;
   steps : int;
   undelivered : int;
+  dropped : int;
 }
 
-let run ?(max_steps = 100_000) ~n ~scheduler process =
+let run ?(max_steps = 100_000) ?faults ~n ~scheduler process =
   if n <= 0 then invalid_arg "Async_net.run: need processes";
   let seq = ref 0 in
   let pending = ref [] in
@@ -43,19 +54,30 @@ let run ?(max_steps = 100_000) ~n ~scheduler process =
         state)
   in
   let steps = ref 0 in
+  let dropped = ref 0 in
   let all_decided () = Array.for_all (fun s -> process.decided s <> None) states in
   while (not (all_decided ())) && !pending <> [] && !steps < max_steps do
     let m = scheduler !pending in
     pending := List.filter (fun m' -> m'.seq <> m.seq) !pending;
-    let state, outgoing = process.on_message ~me:m.dest states.(m.dest) ~sender:m.sender m.payload in
-    states.(m.dest) <- state;
-    List.iter (post m.dest) outgoing;
+    let verdict =
+      match faults with None -> Deliver | Some f -> f ~step:!steps m
+    in
+    (match verdict with
+    | Drop -> incr dropped
+    | Deliver | Duplicate ->
+      if verdict = Duplicate then post m.sender (m.dest, m.payload);
+      let state, outgoing =
+        process.on_message ~me:m.dest states.(m.dest) ~sender:m.sender m.payload
+      in
+      states.(m.dest) <- state;
+      List.iter (post m.dest) outgoing);
     incr steps
   done;
   {
     decisions = Array.map process.decided states;
     steps = !steps;
     undelivered = List.length !pending;
+    dropped = !dropped;
   }
 
 let run_scenarios ?max_steps ?(pool = Bn_util.Pool.serial) ~n schedulers process =

@@ -33,14 +33,25 @@ val delayer : victim:int -> budget:int ref -> 'm scheduler
     budget is exhausted it behaves like {!fifo}. (A finite budget models
     the eventual-delivery fairness assumption.) *)
 
+type fault_verdict = Deliver | Drop | Duplicate
+
+type 'm fault_filter = step:int -> 'm in_flight -> fault_verdict
+(** Applied after the scheduler commits to a message: [Drop] loses it (no
+    retransmission), [Duplicate] delivers it and re-enqueues a fresh copy.
+    [step] is the 0-based delivery step, so a {!Bn_util.Prng}-driven
+    filter is deterministic for a fixed seed and scheduler — see
+    {!Bn_dist_sim.Faults.async_filter}. *)
+
 type 'o result = {
   decisions : 'o option array;
-  steps : int;  (** Messages delivered before termination. *)
+  steps : int;  (** Scheduler steps taken (including dropped ones). *)
   undelivered : int;  (** Messages still in flight at the end. *)
+  dropped : int;  (** Messages lost by the fault filter. *)
 }
 
 val run :
   ?max_steps:int ->
+  ?faults:'m fault_filter ->
   n:int ->
   scheduler:'m scheduler ->
   ('s, 'm) process ->

@@ -35,18 +35,41 @@ type 'm adversary = {
 val silent : int list -> 'm adversary
 (** Crash-from-the-start adversary: corrupted processes never send. *)
 
+type 'm fault_plan = {
+  crashed : round:int -> int -> bool;
+      (** [crashed ~round p]: has [p] crash-stopped by [round]? Must be
+          monotone in [round]. A crashed process sends nothing, stops
+          updating its state, and produces no output. *)
+  on_link : round:int -> src:int -> dst:int -> 'm -> (int * 'm) list;
+      (** Rewrites one attempted delivery into the [(delivery_round,
+          payload)] list the network actually performs: [[]] drops it, two
+          entries duplicate it, a later round delays it (messages delayed
+          past the final round are lost), a changed payload corrupts it.
+          The identity is [[(round, m)]]. *)
+}
+(** Environment faults, orthogonal to the process-level {!adversary}.
+    {!Bn_dist_sim.Faults.plan} compiles declarative fault schedules into
+    this; honest-protocol code is unaffected. *)
+
 type 'o result = {
   outputs : 'o option array;  (** Per-process decision (index = id). *)
   rounds_run : int;
   messages_sent : int;  (** Unicast count; a broadcast counts n messages. *)
+  messages_dropped : int;
+      (** Deliveries suppressed by the fault plan (drops, partition
+          losses, and delays past the horizon). 0 without [?faults]. *)
 }
 
 val run :
   ?adversary:'m adversary ->
+  ?faults:'m fault_plan ->
   n:int ->
   rounds:int ->
   ('s, 'm, 'o) protocol ->
   'o result
 (** Runs [rounds] synchronous rounds with processes [0 … n−1]. Corrupted
     processes' protocol logic is replaced by the adversary, but their
-    inboxes are still computed and exposed to it. *)
+    inboxes are still computed and exposed to it. The fault plan applies
+    to all traffic — honest and adversarial alike — after it is emitted;
+    without [?faults] the simulation is byte-identical to previous
+    behaviour. *)

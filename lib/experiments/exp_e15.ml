@@ -79,6 +79,36 @@ let run ?(jobs = 1) () =
   in
   List.iter2 (fun (label, _) result -> describe label result) scenarios results;
   B.Tab.print tab;
+  (* Faulty delivery on top of the scheduler: duplication is harmless to
+     the flooding protocol (receipt is idempotent), but a single lost
+     value message stalls consensus forever — there is no retransmission,
+     exactly the "fault-free executions are not enough" point. *)
+  let tab2 =
+    B.Tab.create ~title:"message-level faults under the random scheduler"
+      [ "faults"; "steps"; "dropped"; "all decided" ]
+  in
+  List.iter
+    (fun (label, drop, dup) ->
+      let result =
+        A.run ~n:(n + 1)
+          ~scheduler:(A.random (B.Prng.create 15))
+          ~faults:(B.Faults.async_filter (B.Prng.create 16) ~drop ~dup)
+          (consensus ~n ~values)
+      in
+      let participants = Array.sub result.A.decisions 0 n in
+      B.Tab.add_row tab2
+        [
+          label;
+          string_of_int result.A.steps;
+          string_of_int result.A.dropped;
+          string_of_bool (Array.for_all (fun d -> d <> None) participants);
+        ])
+    [
+      ("none", 0.0, 0.0);
+      ("duplicate 20%", 0.0, 0.2);
+      ("drop 15%  <-- loss stalls consensus", 0.15, 0.0);
+    ];
+  B.Tab.print tab2;
   B.Out.print_endline
     "shape check: decision time under the adversarial scheduler grows linearly in its\n\
      fairness budget (it hides behind background traffic while starving the victim's value);\n\

@@ -58,6 +58,32 @@ let run ?(jobs = 1) () =
       string_of_int naive_bad.CT.rounds;
       string_of_int naive_bad.CT.messages;
     ];
+  (* Fault sweep: the cheap-talk implementation must induce the mediator's
+     distribution exactly (TV = 0 over surviving players) under every
+     <=t crash schedule, not just the hand-picked scenarios above. *)
+  let ct_sweep =
+    B.Explore.explore
+      ~pool:(B.Pool.create ~domains:jobs ())
+      ~seed:42 ~trials:40
+      ~gen:(fun rng ->
+        B.Faults.random_schedule rng (B.Faults.crash_only ~n:4 ~rounds:2 ~max_crashes:1))
+      {
+        B.Explore.run =
+          (fun schedule ->
+            CT.generals_eig ~faults:(B.Faults.plan schedule) ~n:4 ~t:1 ~general_type:1 ());
+        invariants =
+          [ ("tv = 0", fun _ o -> CT.tv_to_mediator ~n:4 ~general_type:1 o = 0.0) ];
+      }
+  in
+  B.Tab.add_row tab
+    [
+      "EIG";
+      "fault sweep: 40 crash schedules, <=t crashes";
+      Printf.sprintf "0 in all %d runs: %b" ct_sweep.B.Explore.trials
+        (ct_sweep.B.Explore.violations = []);
+      "";
+      "";
+    ];
   B.Tab.print tab;
   (* Mediated-game side: honest utilities and robustness. *)
   let med = B.Ba_game.mediator ~n:4 in

@@ -9,7 +9,7 @@ type outcome = {
   messages : int;
 }
 
-let generals_eig ?(corrupted = []) ?delivered ~n ~t ~general_type () =
+let generals_eig ?(corrupted = []) ?delivered ?faults ~n ~t ~general_type () =
   (* Round 1: dissemination. [delivered.(i)] is what player i heard from the
      general (equal to the type when the general is honest). *)
   let values =
@@ -24,7 +24,7 @@ let generals_eig ?(corrupted = []) ?delivered ~n ~t ~general_type () =
     | [] -> None
     | _ -> Some (Eig.lying_adversary ~n ~corrupted ~claim:(1 - general_type))
   in
-  let result = Eig.run ?adversary ~n ~t ~values ~default:0 () in
+  let result = Eig.run ?adversary ?faults ~n ~t ~values ~default:0 () in
   {
     actions = result.Sync_net.outputs;
     rounds = 1 + result.Sync_net.rounds_run;

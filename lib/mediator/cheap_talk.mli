@@ -27,13 +27,15 @@ type outcome = {
 val generals_eig :
   ?corrupted:int list ->
   ?delivered:int array ->
+  ?faults:Bn_byzantine.Eig.msg Bn_dist_sim.Sync_net.fault_plan ->
   n:int -> t:int -> general_type:int ->
   unit ->
   outcome
 (** Round 1 the general sends its type to everyone; [delivered] overrides
     what each player received (an equivocating general); [corrupted]
-    players then follow the EIG lying adversary. Honest players act on the
-    EIG decision. *)
+    players then follow the EIG lying adversary; [faults] injects an
+    environment fault plan into the EIG phase (see
+    {!Bn_dist_sim.Faults}). Honest players act on the EIG decision. *)
 
 val generals_naive :
   ?delivered:int array ->

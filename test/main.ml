@@ -11,6 +11,7 @@ let () =
       ("robust", Test_robust.suite);
       ("crypto", Test_crypto.suite);
       ("dist-byz", Test_dist_byz.suite);
+      ("faults", Test_faults.suite);
       ("mediator", Test_mediator.suite);
       ("machine", Test_machine.suite);
       ("repeated", Test_repeated.suite);

@@ -153,6 +153,118 @@ let test_ds_larger_t () =
   Alcotest.(check bool) "agreement with t=3" true (DS.agreement r);
   Alcotest.(check bool) "validity" true (DS.validity_sender ~sender_value:1 r)
 
+(* {1 Async_net schedulers}
+
+   [fifo] was covered indirectly via E15; [random] and [delayer] only ran
+   inside experiments until now. Minimal flooding consensus: everyone
+   floods its value once and decides the minimum after hearing all n. *)
+
+module A = B.Async_net
+
+let async_min_flood ~n ~values =
+  {
+    A.init =
+      (fun me -> ([ (me, values.(me)) ], List.init n (fun j -> (j, values.(me)))));
+    on_message =
+      (fun ~me:_ seen ~sender v ->
+        if List.mem_assoc sender seen then (seen, []) else ((sender, v) :: seen, []));
+    decided =
+      (fun seen ->
+        if List.length seen = n then
+          Some (List.fold_left (fun acc (_, v) -> min acc v) max_int seen)
+        else None);
+  }
+
+let test_async_random_decides_and_is_seeded () =
+  let run seed =
+    A.run ~n:4 ~scheduler:(A.random (B.Prng.create seed)) (async_min_flood ~n:4 ~values:[| 3; 1; 4; 2 |])
+  in
+  let r = run 5 in
+  Alcotest.(check (array (option int))) "everyone decides the min"
+    (Array.make 4 (Some 1)) r.A.decisions;
+  let r' = run 5 in
+  Alcotest.(check int) "same seed, same trajectory" r.A.steps r'.A.steps;
+  (* The run halts at the step where the last process decides, so messages
+     still in flight at that instant stay undelivered — deterministically. *)
+  Alcotest.(check int) "same seed, same leftovers" r.A.undelivered r'.A.undelivered;
+  Alcotest.(check int) "nothing dropped without faults" 0 r.A.dropped
+
+let test_async_delayer_starves_then_fifo () =
+  (* Direct scheduler-level unit test: with budget, the victim's message is
+     starved; at budget exhaustion the choice degrades to fifo. *)
+  let m s q = { A.sender = s; dest = 0; payload = (); seq = q } in
+  let pending = [ m 0 0; m 1 1; m 1 2 ] in
+  let budget = ref 1 in
+  let sched = A.delayer ~victim:0 ~budget in
+  Alcotest.(check int) "starves the victim while budget lasts" 1 (sched pending).A.seq;
+  Alcotest.(check int) "budget spent" 0 !budget;
+  Alcotest.(check int) "exhausted budget falls back to fifo" 0 (sched pending).A.seq;
+  Alcotest.(check int) "budget not driven negative" 0 !budget
+
+let test_async_delayer_victim_only_queue () =
+  (* Only victim messages pending: delivered immediately, budget intact. *)
+  let m q = { A.sender = 2; dest = 0; payload = (); seq = q } in
+  let budget = ref 5 in
+  Alcotest.(check int) "must deliver the victim's message" 3
+    (A.delayer ~victim:2 ~budget [ m 4; m 3 ]).A.seq;
+  Alcotest.(check int) "costs no budget" 5 !budget
+
+let test_async_delayer_budget_linear_delay () =
+  let steps budget_size =
+    (A.run ~n:3
+       ~scheduler:(A.delayer ~victim:0 ~budget:(ref budget_size))
+       (async_min_flood ~n:3 ~values:[| 1; 2; 3 |]))
+      .A.steps
+  in
+  let fifo_steps =
+    (A.run ~n:3 ~scheduler:A.fifo (async_min_flood ~n:3 ~values:[| 1; 2; 3 |])).A.steps
+  in
+  Alcotest.(check int) "budget 0 = fifo" fifo_steps (steps 0);
+  Alcotest.(check bool) "delay grows with the budget" true (steps 6 > steps 0);
+  (* The victim has 3 outgoing messages; a budget of 6 can starve each
+     delivery but never past the point where only victim messages remain. *)
+  Alcotest.(check (option int)) "consensus still reached"
+    (Some 1)
+    (A.run ~n:3
+       ~scheduler:(A.delayer ~victim:0 ~budget:(ref 6))
+       (async_min_flood ~n:3 ~values:[| 1; 2; 3 |]))
+      .A.decisions.(1)
+
+let test_async_empty_queue_terminates () =
+  (* No initial messages and nobody ever decides: the run must stop at
+     once rather than spin against max_steps. *)
+  let mute =
+    {
+      A.init = (fun _ -> ((), []));
+      on_message = (fun ~me:_ () ~sender:_ _ -> ((), []));
+      decided = (fun () -> None);
+    }
+  in
+  let r = A.run ~n:3 ~scheduler:A.fifo mute in
+  Alcotest.(check int) "zero steps" 0 r.A.steps;
+  Alcotest.(check int) "nothing pending" 0 r.A.undelivered
+
+let test_async_fault_filter_drop_stalls () =
+  let r =
+    A.run ~n:3 ~scheduler:A.fifo
+      ~faults:(fun ~step:_ _ -> A.Drop)
+      (async_min_flood ~n:3 ~values:[| 1; 2; 3 |])
+  in
+  Alcotest.(check int) "every delivery dropped" 9 r.A.dropped;
+  Alcotest.(check bool) "nobody decided" true
+    (Array.for_all (( = ) None) r.A.decisions)
+
+let test_async_fault_filter_duplicate_harmless () =
+  let rng = B.Prng.create 3 in
+  let r =
+    A.run ~n:3 ~scheduler:A.fifo
+      ~faults:(B.Faults.async_filter rng ~drop:0.0 ~dup:0.4)
+      (async_min_flood ~n:3 ~values:[| 1; 2; 3 |])
+  in
+  Alcotest.(check (array (option int))) "duplication is idempotent here"
+    (Array.make 3 (Some 1)) r.A.decisions;
+  Alcotest.(check int) "nothing dropped" 0 r.A.dropped
+
 let eig_agreement_property =
   QCheck.Test.make ~count:25 ~name:"eig: agreement for random values, n=4, t=1, lying adversary"
     QCheck.(pair (int_range 0 15) bool)
@@ -181,5 +293,18 @@ let suite =
     Alcotest.test_case "ds: n = 3t with PKI" `Quick test_ds_beats_eig_regime;
     Alcotest.test_case "ds: silent sender" `Quick test_ds_silent_sender;
     Alcotest.test_case "ds: t = 3" `Quick test_ds_larger_t;
+    Alcotest.test_case "async: random scheduler seeded" `Quick
+      test_async_random_decides_and_is_seeded;
+    Alcotest.test_case "async: delayer starves then fifo" `Quick
+      test_async_delayer_starves_then_fifo;
+    Alcotest.test_case "async: delayer victim-only queue" `Quick
+      test_async_delayer_victim_only_queue;
+    Alcotest.test_case "async: delayer budget = linear delay" `Quick
+      test_async_delayer_budget_linear_delay;
+    Alcotest.test_case "async: empty queue terminates" `Quick test_async_empty_queue_terminates;
+    Alcotest.test_case "async: drop filter stalls consensus" `Quick
+      test_async_fault_filter_drop_stalls;
+    Alcotest.test_case "async: duplicate filter harmless" `Quick
+      test_async_fault_filter_duplicate_harmless;
     QCheck_alcotest.to_alcotest eig_agreement_property;
   ]
