@@ -28,6 +28,19 @@ let json_file =
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 
+(* Identify the tree that produced a BENCH_*.json so artifacts are
+   comparable across PRs: `git describe` (falling back to the bare
+   commit hash), "-dirty" when the worktree is modified, "unknown"
+   outside a repository. *)
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, line when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 let experiments () = Bn_experiments.Experiments.run_all ~jobs ()
 
 (* {1 Bechamel microbenchmarks} *)
@@ -240,6 +253,7 @@ let write_json file ~wall ~micro =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"beyond-nash-bench/1\",\n";
+  p "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
   p "  \"jobs\": %d,\n" jobs;
   p "  \"microbench\": [\n";
   List.iteri

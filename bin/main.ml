@@ -21,22 +21,78 @@ let jobs_arg =
           "Run parallel loops on $(docv) domains (default: the hardware's \
            recommended domain count). Output is bit-identical for every $(docv).")
 
+(* Observability flags, shared by `exp`, `all` and the fault-injection
+   default command. Without any of them the process output is
+   byte-identical to the uninstrumented CLI: counters tick silently,
+   spans are not even recorded. *)
+let obs_args =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans (experiments, Pool chunks, Robust searches, Sync_net rounds, \
+             Explore schedules, fault instants) and write Chrome trace-event JSON to \
+             $(docv) — load it in chrome://tracing or Perfetto.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a flat JSON metrics snapshot to $(docv). Its \"counters\" section is \
+             deterministic: byte-identical for any -j and across same-seed reruns.")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:"Print a human observability summary (span tree, top counters) after the run.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print one stderr line per completed experiment (name, wall ms, span count).")
+  in
+  Term.(
+    const (fun trace metrics summary progress -> (trace, metrics, summary, progress))
+    $ trace $ metrics $ summary $ progress)
+
+let with_obs (trace, metrics, summary, progress) f =
+  if trace <> None || summary then B.Obs.set_tracing true;
+  B.Obs.set_progress progress;
+  let r = f () in
+  let write file contents =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" file
+  in
+  Option.iter (fun file -> write file (B.Obs.Export.chrome_trace ())) trace;
+  Option.iter (fun file -> write file (B.Obs.Export.metrics_json ())) metrics;
+  if summary then print_string (B.Obs.summary ());
+  r
+
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E3).") in
-  let run id jobs =
-    match Bn_experiments.Experiments.render ~jobs id with
-    | Some transcript ->
-      print_string transcript;
-      `Ok ()
-    | None -> `Error (false, Printf.sprintf "unknown experiment %S; try `list`" id)
+  let run id jobs obs =
+    with_obs obs (fun () ->
+        match Bn_experiments.Experiments.render ~jobs id with
+        | Some transcript ->
+          print_string transcript;
+          `Ok ()
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S; try `list`" id))
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment.") Term.(ret (const run $ id $ jobs_arg))
+  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment.") Term.(ret (const run $ id $ jobs_arg $ obs_args))
 
 let all_cmd =
-  let run jobs = Bn_experiments.Experiments.run_all ~jobs () in
+  let run jobs obs = with_obs obs (fun () -> Bn_experiments.Experiments.run_all ~jobs ()) in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (same output as bench/main.exe minus microbenches).")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ obs_args)
 
 let classify_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Number of players.") in
@@ -123,17 +179,18 @@ let quick_arg =
     & info [ "quick" ] ~doc:"Restrict --explore to the small (CI smoke) config subset.")
 
 let default_term =
-  let run explore faults seed quick jobs =
+  let run explore faults seed quick jobs obs =
     match (explore, faults) with
     | None, false -> `Help (`Pager, None)
     | _ ->
-      if faults then Bn_experiments.Fault_sweep.demo ~seed ();
-      Option.iter
-        (fun trials -> Bn_experiments.Fault_sweep.render ~jobs ~quick ~trials ~seed ())
-        explore;
-      `Ok ()
+      with_obs obs (fun () ->
+          if faults then Bn_experiments.Fault_sweep.demo ~seed ();
+          Option.iter
+            (fun trials -> Bn_experiments.Fault_sweep.render ~jobs ~quick ~trials ~seed ())
+            explore;
+          `Ok ())
   in
-  Term.(ret (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ jobs_arg))
+  Term.(ret (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ jobs_arg $ obs_args))
 
 let main =
   let doc = "Reproduction of Halpern's `Beyond Nash Equilibrium' (PODC 2008)." in

@@ -13,6 +13,7 @@
     {!Solution} gives the unified checker API. *)
 
 (* Utilities *)
+module Obs = Bn_obs.Obs
 module Prng = Bn_util.Prng
 module Pool = Bn_util.Pool
 module Out = Bn_util.Out

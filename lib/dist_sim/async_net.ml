@@ -1,3 +1,11 @@
+module Obs = Bn_obs.Obs
+
+(* Scenario sweeps go through Pool.map (no early exit), so these are
+   deterministic for any -j. *)
+let c_runs = Obs.counter "async_net.runs"
+let c_steps = Obs.counter "async_net.steps"
+let c_dropped = Obs.counter "async_net.dropped"
+
 type ('s, 'm) process = {
   init : int -> 's * (int * 'm) list;
   on_message : me:int -> 's -> sender:int -> 'm -> 's * (int * 'm) list;
@@ -40,6 +48,9 @@ type 'o result = {
 
 let run ?(max_steps = 100_000) ?faults ~n ~scheduler process =
   if n <= 0 then invalid_arg "Async_net.run: need processes";
+  Obs.incr c_runs;
+  Obs.span "async_net.run" ~args:(fun () -> [ ("n", Obs.I n) ])
+  @@ fun () ->
   let seq = ref 0 in
   let pending = ref [] in
   let post sender (dest, payload) =
@@ -73,6 +84,8 @@ let run ?(max_steps = 100_000) ?faults ~n ~scheduler process =
       List.iter (post m.dest) outgoing);
     incr steps
   done;
+  Obs.add c_steps !steps;
+  Obs.add c_dropped !dropped;
   {
     decisions = Array.map process.decided states;
     steps = !steps;

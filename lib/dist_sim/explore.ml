@@ -9,6 +9,16 @@
     and across runs with the same seed. Replaying a violation therefore
     needs only [(seed, trial)]; {!transcript} prints exactly that. *)
 
+module Obs = Bn_obs.Obs
+
+(* All trials run (Pool.map_array has no early exit) and shrinking is a
+   sequential greedy loop per violation, so every explorer counter is
+   deterministic in (seed, trials) — the values are part of the golden
+   metrics snapshot in test_obs. *)
+let c_schedules = Obs.counter "explore.schedules"
+let c_violations = Obs.counter "explore.violations"
+let c_shrink_evals = Obs.counter "explore.shrink_evals"
+
 type 'r system = {
   run : Faults.schedule -> 'r;
       (** Execute the system under one fault schedule. Must be
@@ -24,6 +34,9 @@ type violation = {
   failed : string list;  (** invariants it breaks *)
   shrunk : Faults.schedule;  (** greedily minimized counterexample *)
   shrunk_failed : string list;  (** invariants the shrunk schedule breaks *)
+  shrink_evals : int;
+      (** candidate schedules evaluated while shrinking this violation —
+          the (previously invisible) cost of minimization *)
 }
 
 type report = {
@@ -43,7 +56,13 @@ let failures sys schedule =
    strictly shrinks the schedule; the pair pass escapes plateaus where two
    events are individually redundant but jointly load-bearing. *)
 let shrink sys schedule =
-  let still_violates s = failures sys s <> [] in
+  (* [evals] counts candidate evaluations — the dominant cost of
+     shrinking — and is returned alongside the minimized schedule. *)
+  let evals = ref 0 in
+  let still_violates s =
+    incr evals;
+    failures sys s <> []
+  in
   let without iys s = List.filteri (fun j _ -> not (List.mem j iys)) s in
   let rec go s =
     let k = List.length s in
@@ -71,7 +90,9 @@ let shrink sys schedule =
     | Some smaller -> go smaller
     | None -> ( match try_pairs () with Some smaller -> go smaller | None -> s)
   in
-  go schedule
+  let shrunk = go schedule in
+  Obs.add c_shrink_evals !evals;
+  (shrunk, !evals)
 
 let explore ?(pool = Bn_util.Pool.serial) ~seed ~trials ~gen sys =
   if trials <= 0 then invalid_arg "Explore.explore: need trials > 0";
@@ -79,13 +100,18 @@ let explore ?(pool = Bn_util.Pool.serial) ~seed ~trials ~gen sys =
   let outcomes =
     Bn_util.Pool.map_array pool
       (fun trial ->
+        Obs.incr c_schedules;
+        Obs.span "explore.trial" ~args:(fun () -> [ ("trial", Obs.I trial); ("seed", Obs.I seed) ])
+        @@ fun () ->
         let rng = Bn_util.Prng.split base trial in
         let schedule = gen rng in
         match failures sys schedule with
         | [] -> None
         | failed ->
-          let shrunk = shrink sys schedule in
-          Some { trial; schedule; failed; shrunk; shrunk_failed = failures sys shrunk })
+          Obs.incr c_violations;
+          let shrunk, shrink_evals = shrink sys schedule in
+          Some
+            { trial; schedule; failed; shrunk; shrunk_failed = failures sys shrunk; shrink_evals })
       (Array.init trials Fun.id)
   in
   { seed; trials; violations = List.filter_map Fun.id (Array.to_list outcomes) }

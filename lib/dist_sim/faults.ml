@@ -19,6 +19,12 @@
     guarantees for the remaining processes ({!mask}) under any such
     schedule — the property the exploration suites check mechanically. *)
 
+module Obs = Bn_obs.Obs
+
+(* Applied per attempted delivery inside Sync_net rounds: deterministic
+   for a fixed schedule, like the sync_net counters. *)
+let c_link_events = Obs.counter "faults.link_events_applied"
+
 type event =
   | Drop of { round : int; src : int; dst : int }
       (** Messages from [src] to [dst] sent in [round] are lost. *)
@@ -87,25 +93,43 @@ let plan ?corrupt schedule =
   in
   let on_link ~round ~src ~dst m =
     (* Fold the schedule's matching events, in order, over the delivery
-       list; start from the intact singleton delivery. *)
-    List.fold_left
-      (fun deliveries ev ->
-        match ev with
-        | Drop { round = r; src = s; dst = d } when r = round && s = src && d = dst -> []
-        | Duplicate { round = r; src = s; dst = d } when r = round && s = src && d = dst ->
-          List.concat_map (fun x -> [ x; x ]) deliveries
-        | Delay { round = r; src = s; dst = d; by } when r = round && s = src && d = dst ->
-          List.map (fun (r', m') -> (r' + max 0 by, m')) deliveries
-        | Partition { from_round; heal_round; groups }
-          when round >= from_round && round < heal_round && not (same_group groups src dst) ->
-          []
-        | Corrupt { round = r; src = s; dst = d } when r = round && s = src && d = dst -> (
-          match corrupt with
-          | None -> deliveries
-          | Some f -> List.map (fun (r', m') -> (r', f ~round ~src ~dst m')) deliveries)
-        | Drop _ | Duplicate _ | Delay _ | Crash _ | Partition _ | Corrupt _ -> deliveries)
-      [ (round, m) ]
-      schedule
+       list; start from the intact singleton delivery. Each applied event
+       bumps the (deterministic) counter and, when tracing, leaves an
+       instant on the trace timeline. *)
+    let applied = ref 0 in
+    let hit name =
+      incr applied;
+      Obs.instant name
+        ~args:(fun () -> [ ("round", Obs.I round); ("src", Obs.I src); ("dst", Obs.I dst) ])
+    in
+    let deliveries =
+      List.fold_left
+        (fun deliveries ev ->
+          match ev with
+          | Drop { round = r; src = s; dst = d } when r = round && s = src && d = dst ->
+            hit "fault.drop";
+            []
+          | Duplicate { round = r; src = s; dst = d } when r = round && s = src && d = dst ->
+            hit "fault.dup";
+            List.concat_map (fun x -> [ x; x ]) deliveries
+          | Delay { round = r; src = s; dst = d; by } when r = round && s = src && d = dst ->
+            hit "fault.delay";
+            List.map (fun (r', m') -> (r' + max 0 by, m')) deliveries
+          | Partition { from_round; heal_round; groups }
+            when round >= from_round && round < heal_round && not (same_group groups src dst) ->
+            hit "fault.partition";
+            []
+          | Corrupt { round = r; src = s; dst = d } when r = round && s = src && d = dst -> (
+            hit "fault.corrupt";
+            match corrupt with
+            | None -> deliveries
+            | Some f -> List.map (fun (r', m') -> (r', f ~round ~src ~dst m')) deliveries)
+          | Drop _ | Duplicate _ | Delay _ | Crash _ | Partition _ | Corrupt _ -> deliveries)
+        [ (round, m) ]
+        schedule
+    in
+    Obs.add c_link_events !applied;
+    deliveries
   in
   { Sync_net.crashed; on_link }
 

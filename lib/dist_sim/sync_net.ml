@@ -1,3 +1,14 @@
+module Obs = Bn_obs.Obs
+
+(* Synchronous runs happen in Pool.map_array sweeps (explorer trials,
+   experiment grids) and sequential shrink loops — never under an
+   early-exit scan — so all four counters are deterministic: identical
+   at any -j and across same-seed reruns (asserted in test_obs). *)
+let c_runs = Obs.counter "sync_net.runs"
+let c_rounds = Obs.counter "sync_net.rounds"
+let c_sent = Obs.counter "sync_net.messages_sent"
+let c_dropped = Obs.counter "sync_net.messages_dropped"
+
 type dest = To of int | All
 
 type ('s, 'm, 'o) protocol = {
@@ -36,6 +47,9 @@ type 'o result = {
 
 let run ?adversary ?faults ~n ~rounds protocol =
   if n <= 0 then invalid_arg "Sync_net.run: need processes";
+  Obs.incr c_runs;
+  Obs.span "sync_net.run" ~args:(fun () -> [ ("n", Obs.I n); ("rounds", Obs.I rounds) ])
+  @@ fun () ->
   let corrupted =
     match adversary with None -> [||] | Some a -> Array.of_list a.corrupted
   in
@@ -53,6 +67,7 @@ let run ?adversary ?faults ~n ~rounds protocol =
   (* future.(r-1): deliveries delayed into round r, in arrival order. *)
   let future = Array.make rounds [] in
   for round = 1 to rounds do
+    Obs.span "sync_net.round" ~args:(fun () -> [ ("round", Obs.I round) ]) @@ fun () ->
     let outgoing = Array.make n [] in
     for me = 0 to n - 1 do
       let traffic =
@@ -106,4 +121,7 @@ let run ?adversary ?faults ~n ~rounds protocol =
         if is_corrupt me || crashed ~round:rounds me then None
         else protocol.output ~me states.(me))
   in
+  Obs.add c_rounds rounds;
+  Obs.add c_sent !messages;
+  Obs.add c_dropped !dropped;
   { outputs; rounds_run = rounds; messages_sent = !messages; messages_dropped = !dropped }

@@ -13,6 +13,10 @@
     byte-exact serial transcript. The contract, pinned down by
     [test/test_determinism.ml]: output is identical for every [jobs]. *)
 
+module Obs = Bn_obs.Obs
+
+let c_rendered = Obs.counter "experiments.rendered"
+
 type entry = string * string * (?jobs:int -> unit -> unit)
 
 let all : entry list =
@@ -37,9 +41,23 @@ let all : entry list =
 let find id = List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = String.lowercase_ascii id) all
 
 let render_entry ~jobs ((name, title, run) : entry) =
-  Bn_util.Out.with_capture (fun () ->
-      Bn_util.Out.printf "######## %s: %s ########\n\n" name title;
-      run ~jobs ())
+  Obs.incr c_rendered;
+  let t0 = Obs.now_us () and spans0 = Obs.span_count () in
+  let transcript =
+    Obs.span ("exp." ^ name) (fun () ->
+        Bn_util.Out.with_capture (fun () ->
+            Bn_util.Out.printf "######## %s: %s ########\n\n" name title;
+            run ~jobs ()))
+  in
+  (* --progress: one stderr line as each experiment completes, so long
+     runs are not silent. stderr only (stdout stays byte-identical);
+     the span count is a global delta, approximate when experiments
+     render concurrently. *)
+  if Obs.progress_enabled () then
+    Printf.eprintf "[progress] %-4s done  %8.1f ms  %d spans\n%!" name
+      ((Obs.now_us () -. t0) /. 1e3)
+      (Obs.span_count () - spans0);
+  transcript
 
 let render ?(jobs = 1) id = Option.map (render_entry ~jobs) (find id)
 

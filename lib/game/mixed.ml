@@ -1,6 +1,16 @@
 type strategy = float array
 type profile = strategy array
 
+module Obs = Bn_obs.Obs
+
+(* Expected-payoff evaluations run under Robust's early-exit deviation
+   scans, so their execution counts depend on scheduling: Volatile. The
+   per-profile work inside one [iter_support] sweep is accumulated
+   locally and flushed once, keeping the odometer loop free of atomics. *)
+let c_support_iters = Obs.counter ~kind:Obs.Volatile "mixed.support_iters"
+let c_support_profiles = Obs.counter ~kind:Obs.Volatile "mixed.support_profiles"
+let c_expected_payoffs = Obs.counter ~kind:Obs.Volatile "mixed.expected_payoffs"
+
 let pure ~num_actions a =
   if a < 0 || a >= num_actions then invalid_arg "Mixed.pure: action out of range";
   Array.init num_actions (fun i -> if i = a then 1.0 else 0.0)
@@ -92,7 +102,9 @@ let iter_support g prof f =
       supp_probs.(i) <- probs
     end
   done;
+  Obs.incr c_support_iters;
   if not !empty then begin
+    let visited = ref 0 in
     let pos = Array.make n 0 in
     let cur = Array.make n 0 in
     (* Per-player prefixes of the running product and flat index; bumping
@@ -111,7 +123,10 @@ let iter_support g prof f =
     let continue = ref true in
     while !continue do
       let pr = pref_pr.(n - 1) in
-      if pr > 0.0 then f cur pref_idx.(n - 1) pr;
+      if pr > 0.0 then begin
+        Stdlib.incr visited;
+        f cur pref_idx.(n - 1) pr
+      end;
       let rec bump j =
         if j < 0 then false
         else if pos.(j) + 1 < Array.length supp_acts.(j) then begin
@@ -125,10 +140,12 @@ let iter_support g prof f =
         end
       in
       continue := bump (n - 1)
-    done
+    done;
+    Obs.add c_support_profiles !visited
   end
 
 let expected_payoff g prof i =
+  Obs.incr c_expected_payoffs;
   match pure_actions prof with
   | Some p -> 0.0 +. Normal_form.payoff g p i
   | None ->

@@ -1,0 +1,532 @@
+(* Deterministic tracing & metrics layer (no dependencies beyond the
+   compiler distribution). Sits below Bn_util so every layer — Pool,
+   the payoff kernel, the network simulators, the explorer, the
+   experiment registry — can instrument itself.
+
+   The determinism contract, asserted by test/test_obs.ml and CI:
+
+   - [Det] counters are pure functions of the workload: their values are
+     identical for any [-j] and across reruns with the same seed. They
+     may only be bumped on code paths whose execution count is
+     schedule-independent (Pool.map_array visits every item; shrinking
+     is sequential per violation; ...).
+   - [Volatile] counters may depend on scheduling (anything under
+     Pool.find_first's early exit, per-chunk work counts). They are
+     exported in a separate section and never asserted.
+   - Timing (spans) is nondeterministic by nature and export-only:
+     nothing in the library reads a timestamp back into computation.
+
+   Recording costs when idle: a counter bump is a plain increment of a
+   domain-local cell (no atomics, no locks — counters are sharded per
+   domain and summed at read time); a span is a single Atomic.get when
+   tracing is off. Span events are collected per-domain through the same
+   DLS-sink pattern Bn_util.Out uses, so pool workers never contend on a
+   lock on the hot path. Reads are exact whenever the domains that wrote
+   have been joined (Pool joins its workers before returning), which is
+   the only time the library reads counters back. *)
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* {1 Global switches} *)
+
+let tracing = Atomic.make false
+let progress = Atomic.make false
+
+let set_tracing b = Atomic.set tracing b
+let tracing_enabled () = Atomic.get tracing
+let set_progress b = Atomic.set progress b
+let progress_enabled () = Atomic.get progress
+
+(* {1 Counter / gauge / histogram registry} *)
+
+type kind = Det | Volatile
+
+type counter = { cname : string; ckind : kind; cid : int }
+type gauge = { gname : string; gcell : int Atomic.t }
+type hist = { hname : string; hkind : kind; buckets : int Atomic.t array }
+
+let registry_mu = Mutex.create ()
+let counters_reg : counter list ref = ref []
+let next_cid = ref 0
+let gauges_reg : gauge list ref = ref []
+let hists_reg : hist list ref = ref []
+
+let with_registry f = Mutex.protect registry_mu f
+
+(* Counter storage is sharded: each domain owns one growable int array of
+   cells indexed by counter id, registered globally on the domain's first
+   bump. A bump is a plain read-modify-write of the domain's own cell —
+   no atomic, no lock, no false sharing with other domains. [value] sums
+   the shards; the registry keeps a shard alive after its domain dies, so
+   counts survive pool teardown, and every library read happens after the
+   writing domains were joined (a full memory barrier), so sums are
+   exact. A read that races a live writer may miss its latest bumps —
+   harmless for the mid-run informational reads that are the only case. *)
+type shard = { mutable cells : int array }
+
+let shards : shard list ref = ref []
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { cells = [||] } in
+      Mutex.protect registry_mu (fun () -> shards := s :: !shards);
+      s)
+
+(* Registration is idempotent by name so a counter can be declared at
+   module-init time in several compilation units without coordination;
+   the first declaration fixes the kind. *)
+let counter ?(kind = Det) name =
+  with_registry (fun () ->
+      match List.find_opt (fun c -> c.cname = name) !counters_reg with
+      | Some c -> c
+      | None ->
+        let c = { cname = name; ckind = kind; cid = !next_cid } in
+        Stdlib.incr next_cid;
+        counters_reg := c :: !counters_reg;
+        c)
+
+let[@inline never] grow_and_add s cid n =
+  let a = s.cells in
+  let b = Array.make (cid + 9) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b.(cid) <- n;
+  s.cells <- b
+
+let add c n =
+  if n <> 0 then begin
+    let s = Domain.DLS.get shard_key in
+    let a = s.cells in
+    if c.cid < Array.length a then a.(c.cid) <- a.(c.cid) + n
+    else grow_and_add s c.cid n
+  end
+
+let incr c = add c 1
+
+(* Batched double update for hot paths that bump two counters at once
+   (one domain-local lookup instead of two). *)
+let add2 c1 n1 c2 n2 =
+  let s = Domain.DLS.get shard_key in
+  let a = s.cells in
+  let hi = if c1.cid > c2.cid then c1.cid else c2.cid in
+  if hi < Array.length a then begin
+    a.(c1.cid) <- a.(c1.cid) + n1;
+    a.(c2.cid) <- a.(c2.cid) + n2
+  end
+  else begin
+    if n1 <> 0 then grow_and_add s c1.cid n1;
+    add c2 n2
+  end
+
+let value c =
+  let ss = with_registry (fun () -> !shards) in
+  List.fold_left
+    (fun acc s ->
+      let a = s.cells in
+      acc + if c.cid < Array.length a then a.(c.cid) else 0)
+    0 ss
+
+let gauge name =
+  with_registry (fun () ->
+      match List.find_opt (fun g -> g.gname = name) !gauges_reg with
+      | Some g -> g
+      | None ->
+        let g = { gname = name; gcell = Atomic.make 0 } in
+        gauges_reg := g :: !gauges_reg;
+        g)
+
+let set_gauge g v = Atomic.set g.gcell v
+
+let rec max_gauge g v =
+  let cur = Atomic.get g.gcell in
+  if v > cur && not (Atomic.compare_and_set g.gcell cur v) then max_gauge g v
+
+let gauge_value g = Atomic.get g.gcell
+
+(* Power-of-two buckets: bucket [i] counts observations [v] with
+   [2^(i-1) <= v < 2^i] (bucket 0 holds v <= 0 and v = 1 shares bucket 1). *)
+let hist_buckets = 63
+
+let hist ?(kind = Volatile) name =
+  with_registry (fun () ->
+      match List.find_opt (fun h -> h.hname = name) !hists_reg with
+      | Some h -> h
+      | None ->
+        let h =
+          { hname = name; hkind = kind; buckets = Array.init hist_buckets (fun _ -> Atomic.make 0) }
+        in
+        hists_reg := h :: !hists_reg;
+        h)
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      Stdlib.incr b;
+      v := !v lsr 1
+    done;
+    min !b (hist_buckets - 1)
+  end
+
+let observe h v = ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1)
+
+let counters_snapshot ?kind () =
+  let cs = with_registry (fun () -> !counters_reg) in
+  let cs = match kind with None -> cs | Some k -> List.filter (fun c -> c.ckind = k) cs in
+  List.sort compare (List.map (fun c -> (c.cname, value c)) cs)
+
+(* {1 Trace events} *)
+
+type arg = I of int | S of string | F of float
+type phase = Begin | End | Instant
+
+type event = {
+  ename : string;
+  ph : phase;
+  ts_us : float;
+  tid : int;  (** integer id of the recording domain *)
+  args : (string * arg) list;
+}
+
+type sink = { stid : int; mutable evs : event list (* newest first *) }
+
+let sinks_mu = Mutex.create ()
+let sinks : sink list ref = ref []
+
+(* One sink per domain, registered globally on the domain's first event;
+   after registration the hot path touches only domain-local state. *)
+let sink_key : sink Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { stid = (Domain.self () :> int); evs = [] } in
+      Mutex.protect sinks_mu (fun () -> sinks := s :: !sinks);
+      s)
+
+let spans_total = Atomic.make 0
+
+let emit ename ph args =
+  let s = Domain.DLS.get sink_key in
+  s.evs <- { ename; ph; ts_us = now_us (); tid = s.stid; args } :: s.evs
+
+let no_args () = []
+
+let span ?(args = no_args) name f =
+  if not (Atomic.get tracing) then f ()
+  else begin
+    ignore (Atomic.fetch_and_add spans_total 1);
+    emit name Begin (args ());
+    Fun.protect ~finally:(fun () -> emit name End []) f
+  end
+
+let instant ?(args = no_args) name =
+  if Atomic.get tracing then emit name Instant (args ())
+
+let span_count () = Atomic.get spans_total
+
+let events () =
+  let ss = Mutex.protect sinks_mu (fun () -> !sinks) in
+  List.concat_map (fun s -> List.rev s.evs) (List.rev ss)
+
+(* {1 Reset (tests and multi-phase CLI runs)} *)
+
+let reset () =
+  with_registry (fun () ->
+      List.iter (fun s -> Array.fill s.cells 0 (Array.length s.cells) 0) !shards;
+      List.iter (fun g -> Atomic.set g.gcell 0) !gauges_reg;
+      List.iter (fun h -> Array.iter (fun b -> Atomic.set b 0) h.buckets) !hists_reg);
+  Mutex.protect sinks_mu (fun () -> List.iter (fun s -> s.evs <- []) !sinks);
+  Atomic.set spans_total 0
+
+(* {1 JSON writing} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | I n -> string_of_int n
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | F x -> Printf.sprintf "%.6f" x
+
+module Export = struct
+  (* Chrome trace-event format (chrome://tracing, Perfetto): a JSON
+     object with a "traceEvents" array of B/E/i events. Timestamps are
+     microseconds relative to the earliest recorded event. *)
+  let chrome_trace () =
+    let evs = events () in
+    let t0 = List.fold_left (fun acc e -> Float.min acc e.ts_us) infinity evs in
+    let t0 = if Float.is_finite t0 then t0 else 0.0 in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[\n";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        let ph = match e.ph with Begin -> "B" | End -> "E" | Instant -> "i" in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"bn\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+             (json_escape e.ename) ph e.tid (e.ts_us -. t0));
+        if e.ph = Instant then Buffer.add_string buf ",\"s\":\"t\"";
+        (match e.args with
+        | [] -> ()
+        | args ->
+          Buffer.add_string buf ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v)))
+            args;
+          Buffer.add_char buf '}');
+        Buffer.add_char buf '}')
+      evs;
+    Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+    Buffer.contents buf
+
+  let kv_section buf label kvs =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {\n" label);
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%s\": %d%s\n" (json_escape k) v
+             (if i = List.length kvs - 1 then "" else ",")))
+      kvs;
+    Buffer.add_string buf "  }"
+
+  (* Flat metrics snapshot. The "counters" section contains only [Det]
+     counters, sorted by name: it is the byte-comparable artifact of the
+     determinism contract (CI diffs it between -j1 and -j2 runs).
+     Everything else is informational. *)
+  let metrics_json () =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"schema\": \"beyond-nash-metrics/1\",\n";
+    kv_section buf "counters" (counters_snapshot ~kind:Det ());
+    Buffer.add_string buf ",\n";
+    kv_section buf "volatile" (counters_snapshot ~kind:Volatile ());
+    Buffer.add_string buf ",\n";
+    kv_section buf "gauges"
+      (List.sort compare
+         (List.map (fun g -> (g.gname, Atomic.get g.gcell)) (with_registry (fun () -> !gauges_reg))));
+    Buffer.add_string buf ",\n";
+    let hists = with_registry (fun () -> !hists_reg) in
+    Buffer.add_string buf "  \"histograms\": {\n";
+    let hists = List.sort (fun a b -> compare a.hname b.hname) hists in
+    List.iteri
+      (fun i h ->
+        let cells = ref [] in
+        Array.iteri
+          (fun b c ->
+            let c = Atomic.get c in
+            if c > 0 then
+              cells := Printf.sprintf "[%d, %d]" (if b = 0 then 0 else 1 lsl (b - 1)) c :: !cells)
+          h.buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%s\": [%s]%s\n" (json_escape h.hname)
+             (String.concat ", " (List.rev !cells))
+             (if i = List.length hists - 1 then "" else ",")))
+      hists;
+    Buffer.add_string buf "  },\n";
+    Buffer.add_string buf (Printf.sprintf "  \"spans\": %d\n}\n" (Atomic.get spans_total));
+    Buffer.contents buf
+end
+
+(* {1 Human summary} *)
+
+(* Aggregate the recorded spans by path (stack of open span names, per
+   domain, capped at depth 3) and render an indented tree with call
+   counts and total wall time, followed by the busiest counters. Wall
+   times are informational only — see the determinism contract above. *)
+let summary ?(max_rows = 48) () =
+  let agg : (string list, int ref * float ref) Hashtbl.t = Hashtbl.create 64 in
+  let order : string list list ref = ref [] in
+  let ss = Mutex.protect sinks_mu (fun () -> !sinks) in
+  List.iter
+    (fun s ->
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          match e.ph with
+          | Begin -> stack := (e.ename, e.ts_us) :: !stack
+          | End -> (
+            match !stack with
+            | (name, t0) :: rest ->
+              stack := rest;
+              let path = List.rev (name :: List.map fst rest) in
+              (* Spans nested deeper than the cap are dropped (not folded
+                 into an ancestor row, which would double-count time). *)
+              if List.length path <= 3 then begin
+              let cnt, tot =
+                match Hashtbl.find_opt agg path with
+                | Some cell -> cell
+                | None ->
+                  let cell = (ref 0, ref 0.0) in
+                  Hashtbl.add agg path cell;
+                  order := path :: !order;
+                  cell
+              in
+              Stdlib.incr cnt;
+              tot := !tot +. (e.ts_us -. t0)
+              end
+            | [] -> ())
+          | Instant -> ())
+        (List.rev s.evs))
+    (List.rev ss);
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "== observability summary ==\n";
+  p "span tree (calls, total wall ms; depth <= 3, aggregated over domains):\n";
+  let paths = List.sort compare (List.rev !order) in
+  let shown = ref 0 in
+  List.iter
+    (fun path ->
+      if !shown < max_rows then begin
+        Stdlib.incr shown;
+        let cnt, tot = Hashtbl.find agg path in
+        let depth = List.length path - 1 in
+        let name = List.nth path depth in
+        p "  %s%-*s %8d %12.2f\n" (String.make (2 * depth) ' ')
+          (max 1 (36 - (2 * depth)))
+          name !cnt (!tot /. 1e3)
+      end)
+    paths;
+  if paths = [] then p "  (no spans recorded; enable tracing with --trace/--obs-summary)\n";
+  let counters =
+    List.filter (fun (_, v) -> v > 0) (counters_snapshot ())
+    |> List.sort (fun (na, va) (nb, vb) -> compare (vb, na) (va, nb))
+  in
+  p "top counters:\n";
+  List.iteri (fun i (n, v) -> if i < 16 then p "  %-36s %12d\n" n v) counters;
+  if counters = [] then p "  (all counters zero)\n";
+  Buffer.contents buf
+
+(* {1 Minimal JSON validator}
+
+   Used by the test suite and CI to check exporter output without
+   depending on an external JSON library. Accepts RFC 8259 JSON. *)
+
+module Json = struct
+  exception Bad
+
+  let validate s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c = match peek () with Some c' when c' = c -> advance () | _ -> raise Bad in
+    let literal l =
+      String.iter (fun c -> expect c) l
+    in
+    let string_body () =
+      expect '"';
+      let fin = ref false in
+      while not !fin do
+        match peek () with
+        | None -> raise Bad
+        | Some '"' -> advance (); fin := true
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> raise Bad
+            done
+          | _ -> raise Bad)
+        | Some c when Char.code c < 0x20 -> raise Bad
+        | Some _ -> advance ()
+      done
+    in
+    let number () =
+      (match peek () with Some '-' -> advance () | _ -> ());
+      let digits () =
+        let seen = ref false in
+        while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+          seen := true;
+          advance ()
+        done;
+        if not !seen then raise Bad
+      in
+      (* Integer part: a lone 0, or a nonzero digit then any run — JSON
+         forbids leading zeros. *)
+      (match peek () with
+      | Some '0' -> advance ()
+      | Some '1' .. '9' -> digits ()
+      | _ -> raise Bad);
+      (match peek () with
+      | Some '.' ->
+        advance ();
+        digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ()
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let fin = ref false in
+          while not !fin do
+            skip_ws ();
+            string_body ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' -> advance (); fin := true
+            | _ -> raise Bad
+          done
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let fin = ref false in
+          while not !fin do
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' -> advance (); fin := true
+            | _ -> raise Bad
+          done
+        end
+      | Some '"' -> string_body ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> raise Bad
+    in
+    match
+      value ();
+      skip_ws ();
+      if !pos <> n then raise Bad
+    with
+    | () -> true
+    | exception Bad -> false
+end

@@ -1,0 +1,136 @@
+(** Deterministic tracing & metrics ([Bn_obs]).
+
+    Three instruments, one contract:
+
+    - {b counters} ({!counter}, {!add}): integers in a global registry,
+      sharded per domain — a bump is a plain increment of a
+      domain-local cell (no atomics, no locks) and a read sums the
+      shards, exact once the writing domains have been joined (which
+      Pool does before returning). A {!Det} counter is a pure function
+      of the workload — identical at any [-j] and across same-seed
+      reruns — and is asserted by tests and CI. A {!Volatile} counter
+      may depend on scheduling (early-exit scans, per-chunk work) and
+      is exported in a separate section, never asserted.
+    - {b spans} ({!span}, {!instant}): nested begin/end events with
+      wall-clock timestamps and the recording domain's id, collected
+      per-domain through a DLS sink (no locks on the hot path). Timing
+      is nondeterministic by nature and {e export-only}: trace data
+      never feeds back into computation.
+    - {b exporters}: Chrome trace-event JSON ({!Export.chrome_trace}),
+      a flat metrics snapshot ({!Export.metrics_json}) whose
+      ["counters"] section is the byte-comparable determinism artifact,
+      and a human {!summary} table.
+
+    With tracing off (the default) a span costs one atomic load, so
+    instrumented code keeps its output and (within noise) its speed. *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds ([Unix.gettimeofday] scaled). Export-only. *)
+
+(** {1 Switches} *)
+
+val set_tracing : bool -> unit
+(** Enable/disable span recording (counters are always on). *)
+
+val tracing_enabled : unit -> bool
+
+val set_progress : bool -> unit
+(** Enable the per-experiment stderr progress line in
+    [Experiments.run_all] (read there, not here). *)
+
+val progress_enabled : unit -> bool
+
+(** {1 Counters, gauges, histograms} *)
+
+type kind = Det  (** deterministic: asserted across [-j] and reruns *)
+          | Volatile  (** schedule-dependent: export-only *)
+
+type counter
+type gauge
+type hist
+
+val counter : ?kind:kind -> string -> counter
+(** Find-or-create by name (idempotent; the first call fixes the kind).
+    Declare counters at module-init time, off the hot path. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val add2 : counter -> int -> counter -> int -> unit
+(** [add2 c1 n1 c2 n2] = [add c1 n1; add c2 n2] with a single
+    domain-local lookup — for hot paths that flush two tallies at once. *)
+
+val value : counter -> int
+(** Sum of the per-domain shards; exact after the writers are joined. *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> int -> unit
+val max_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val hist : ?kind:kind -> string -> hist
+(** Power-of-two bucket histogram (bucket boundaries at 2^i). *)
+
+val observe : hist -> int -> unit
+
+val counters_snapshot : ?kind:kind -> unit -> (string * int) list
+(** All (or one kind's) counter values, sorted by name. *)
+
+(** {1 Spans} *)
+
+type arg = I of int | S of string | F of float
+type phase = Begin | End | Instant
+
+type event = {
+  ename : string;
+  ph : phase;
+  ts_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+val span : ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording begin/end events around it when
+    tracing is enabled ([args] is only evaluated then). Exception-safe:
+    the end event is recorded even if [f] raises. *)
+
+val instant : ?args:(unit -> (string * arg) list) -> string -> unit
+(** A point event (e.g. a fault injection) on the trace timeline. *)
+
+val span_count : unit -> int
+(** Spans recorded since the last {!reset} (0 when tracing is off). *)
+
+val events : unit -> event list
+(** Every recorded event, grouped by domain in registration order and
+    chronological within each domain. *)
+
+val reset : unit -> unit
+(** Zero every counter/gauge/histogram and drop all recorded events. *)
+
+(** {1 Exporters} *)
+
+module Export : sig
+  val chrome_trace : unit -> string
+  (** [chrome://tracing] / Perfetto JSON ("traceEvents" array);
+      timestamps in microseconds relative to the earliest event. *)
+
+  val metrics_json : unit -> string
+  (** Flat snapshot: ["counters"] (Det, sorted — the byte-comparable
+      section), ["volatile"], ["gauges"], ["histograms"], ["spans"]. *)
+end
+
+val summary : ?max_rows:int -> unit -> string
+(** Human-readable table: aggregated span tree (calls, total wall ms)
+    and the busiest counters. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+(** {1 JSON validation} *)
+
+module Json : sig
+  val validate : string -> bool
+  (** [true] iff the string is one well-formed RFC 8259 JSON value.
+      Used by the test suite and CI to validate exporter output without
+      an external JSON dependency. *)
+end

@@ -1,4 +1,16 @@
 open Bn_game
+module Obs = Bn_obs.Obs
+
+(* [robust.checks] counts top-level verdict computations (check_* entry
+   points), which execute unconditionally even inside parallel profile
+   sweeps (Pool.map_array visits every profile): deterministic. The scan
+   counters sit under Pool.find_first's early exit — how many (C, T)
+   pairs and deviations get scanned before the watermark stops a worker
+   depends on the domain budget — so they are Volatile. *)
+let c_checks = Obs.counter "robust.checks"
+let c_searches = Obs.counter ~kind:Obs.Volatile "robust.searches"
+let c_pairs = Obs.counter ~kind:Obs.Volatile "robust.pairs_scanned"
+let c_devs = Obs.counter ~kind:Obs.Volatile "robust.deviation_checks"
 
 type variant = Strong | Weak
 
@@ -74,6 +86,15 @@ exception Stop
 let scan_assignments g ~dims ~prof ~pure_p ~deviators test =
   let m = Array.length deviators in
   let result = ref None in
+  (* Deviation checks are counted analytically so the odometer loop stays
+     untouched: a completed scan visits the full assignment product, and an
+     early exit visits exactly the row-major position of the hit (+1),
+     recoverable from the odometer state at the hit site. *)
+  let total = ref 1 in
+  for j = 0 to m - 1 do
+    total := !total * dims.(deviators.(j))
+  done;
+  let checks = total in
   let run payoff_after sync =
     try
       Bn_util.Combin.iter_joint_assignments deviators dims (fun acts changed ->
@@ -84,6 +105,9 @@ let scan_assignments g ~dims ~prof ~pure_p ~deviators test =
           match test ~payoff_after ~assignment with
           | Some _ as r ->
             result := r;
+            let pos = ref 0 in
+            Array.iteri (fun j a -> pos := (!pos * dims.(deviators.(j))) + a) acts;
+            checks := !pos + 1;
             raise Stop
           | None -> ())
     with Stop -> ()
@@ -123,6 +147,9 @@ let scan_assignments g ~dims ~prof ~pure_p ~deviators test =
             cur.(j) <- acts.(j)
           end
         done));
+  (* One pair scanned, [!checks] deviations evaluated: a single batched
+     flush keeps the per-pair tax to one domain-local update. *)
+  Obs.add2 c_pairs 1 c_devs !checks;
   !result
 
 (* Search over disjoint C (≤ k), T (≤ t) and joint pure deviations by
@@ -131,15 +158,21 @@ let scan_assignments g ~dims ~prof ~pure_p ~deviators test =
    lowest-index hit, so the reported violation is the one the serial
    left-to-right scan would find, for any domain budget. *)
 let search_deviations ~pool g prof ~k ~t test =
+  Obs.incr c_searches;
   let n = Normal_form.n_players g in
   let dims = Normal_form.actions g in
   let pure_p = Mixed.pure_actions prof in
   let pairs = Array.of_list (coalition_traitor_pairs n ~k ~t) in
-  Bn_util.Pool.find_first pool
-    (fun (coalition, traitors) ->
-      let deviators = Array.of_list (coalition @ traitors) in
-      scan_assignments g ~dims ~prof ~pure_p ~deviators (test ~coalition ~traitors))
-    pairs
+  Obs.span "robust.search"
+    ~args:(fun () ->
+      [ ("players", Obs.I n); ("k", Obs.I k); ("t", Obs.I t);
+        ("pairs", Obs.I (Array.length pairs)) ])
+    (fun () ->
+      Bn_util.Pool.find_first pool
+        (fun (coalition, traitors) ->
+          let deviators = Array.of_list (coalition @ traitors) in
+          scan_assignments g ~dims ~prof ~pure_p ~deviators (test ~coalition ~traitors))
+        pairs)
 
 (* Does the deviated profile give the coalition a blocking gain? Reports
    the first gaining member in coalition order (the canonical victim). *)
@@ -191,11 +224,13 @@ let immunity_violation ~eps ~pool g prof ~base ~t =
       first_victim 0)
 
 let check_resilience ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k =
+  Obs.incr c_checks;
   let pool = pool_of_jobs jobs in
   let base = baseline g prof in
   verdict_of (resilience_violation ~variant ~eps ~pool g prof ~base ~k ~t:0)
 
 let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
+  Obs.incr c_checks;
   let pool = pool_of_jobs jobs in
   let base = baseline g prof in
   verdict_of (immunity_violation ~eps ~pool g prof ~base ~t)
@@ -211,6 +246,7 @@ let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
      exactly with Nash equilibrium.
    The pool and the baseline are built once and shared by both sides. *)
 let check_robustness ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k ~t =
+  Obs.incr c_checks;
   let pool = pool_of_jobs jobs in
   let base = baseline g prof in
   match immunity_violation ~eps ~pool g prof ~base ~t with

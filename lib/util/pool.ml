@@ -1,3 +1,12 @@
+module Obs = Bn_obs.Obs
+
+(* Pool calls happen under Robust's early-exit profile sweeps, and the
+   number of chunks depends on the domain budget, so both counters are
+   schedule-dependent. *)
+let c_calls = Obs.counter ~kind:Obs.Volatile "pool.calls"
+let c_chunks = Obs.counter ~kind:Obs.Volatile "pool.chunks"
+let g_max_domains = Obs.gauge "pool.max_domains"
+
 type t = { budget : int }
 
 let create ?domains () =
@@ -16,6 +25,16 @@ let chunk ~n ~d j = (j * n / d, (j + 1) * n / d)
    fresh domains, all joined before returning. Any exception from a worker
    is re-raised (spawned workers first, in worker order). *)
 let run_workers ~d body =
+  Obs.incr c_calls;
+  Obs.add c_chunks d;
+  Obs.max_gauge g_max_domains d;
+  (* One span per chunk, recorded on the worker's own domain; its wall
+     time is the chunk's busy time. *)
+  let body j =
+    Obs.span "pool.chunk"
+      ~args:(fun () -> [ ("worker", Obs.I j); ("domains", Obs.I d) ])
+      (fun () -> body j)
+  in
   if d <= 1 then body 0
   else begin
     let spawned = Array.init (d - 1) (fun i -> Domain.spawn (fun () -> body (i + 1))) in

@@ -24,5 +24,6 @@ let () =
       ("canned-sunspot", Test_canned_sunspot.suite);
       ("rationalizable-parse", Test_rationalizable_parse.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
     ]

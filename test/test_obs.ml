@@ -1,0 +1,241 @@
+(* Observability layer (Bn_obs): the determinism contract — Det counters
+   are identical for any domain budget and across same-seed reruns — plus
+   the sharded counter engine, span well-nesting, and exporter validity.
+   Everything here drives real workloads (experiments, the fault-schedule
+   explorer) rather than synthetic counter churn, so the suite also pins
+   the instrumentation points against accidental moves onto
+   schedule-dependent paths. *)
+
+module B = Beyond_nash
+module FS = Bn_experiments.Fault_sweep
+
+let det_snapshot () = B.Obs.counters_snapshot ~kind:B.Obs.Det ()
+
+let snapshot_t = Alcotest.(list (pair string int))
+
+(* {1 Counter engine} *)
+
+let test_registry () =
+  let c = B.Obs.counter ~kind:B.Obs.Volatile "test.obs.registry" in
+  let c' = B.Obs.counter ~kind:B.Obs.Volatile "test.obs.registry" in
+  let before = B.Obs.value c in
+  B.Obs.add c 5;
+  B.Obs.incr c';
+  Alcotest.(check int) "find-or-create by name shares the cell" (before + 6) (B.Obs.value c);
+  B.Obs.add c 0;
+  Alcotest.(check int) "add 0 is a no-op" (before + 6) (B.Obs.value c)
+
+let test_add2 () =
+  let a = B.Obs.counter ~kind:B.Obs.Volatile "test.obs.add2_a" in
+  let b = B.Obs.counter ~kind:B.Obs.Volatile "test.obs.add2_b" in
+  let va = B.Obs.value a and vb = B.Obs.value b in
+  B.Obs.add2 a 3 b 4;
+  (* From a fresh domain too, so the flush exercises the grow path of a
+     shard that has never seen these counter ids. *)
+  Domain.join (Domain.spawn (fun () -> B.Obs.add2 a 10 b 20));
+  Alcotest.(check int) "add2 first cell" (va + 13) (B.Obs.value a);
+  Alcotest.(check int) "add2 second cell" (vb + 24) (B.Obs.value b)
+
+let test_gauge () =
+  let g = B.Obs.gauge "test.obs.gauge" in
+  B.Obs.set_gauge g 3;
+  B.Obs.max_gauge g 7;
+  B.Obs.max_gauge g 5;
+  Alcotest.(check int) "max_gauge keeps the maximum" 7 (B.Obs.gauge_value g)
+
+let prop_parallel_sum =
+  QCheck.Test.make ~name:"sharded counter sums exactly under Pool" ~count:30
+    QCheck.(list_of_size Gen.(1 -- 50) small_nat)
+    (fun xs ->
+      let c = B.Obs.counter ~kind:B.Obs.Volatile "test.obs.parallel_sum" in
+      let before = B.Obs.value c in
+      let pool = B.Pool.create ~domains:4 () in
+      ignore
+        (B.Pool.map_array pool
+           (fun x ->
+             B.Obs.add c x;
+             x)
+           (Array.of_list xs));
+      B.Obs.value c - before = List.fold_left ( + ) 0 xs)
+
+(* {1 Det counters: identical for any -j and across reruns} *)
+
+(* E1-E3 exercise Robust under parallel sweeps, the explorer config
+   exercises Sync_net + Faults + Explore; only counters classified Det
+   may appear with nonzero values in this comparison. *)
+let det_workload ~jobs () =
+  B.Obs.reset ();
+  List.iter
+    (fun id ->
+      match Bn_experiments.Experiments.render ~jobs id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "unknown experiment %s" id)
+    [ "E1"; "E2"; "E3" ];
+  let pool = B.Pool.create ~domains:jobs () in
+  ignore (FS.explore_eig_n3t1 ~pool ~seed:42 ~trials:20 ());
+  det_snapshot ()
+
+let test_det_jobs_invariant () =
+  let s1 = det_workload ~jobs:1 () in
+  let s4 = det_workload ~jobs:4 () in
+  Alcotest.check snapshot_t "Det counters identical at jobs=1 and jobs=4" s1 s4;
+  let s1' = det_workload ~jobs:1 () in
+  Alcotest.check snapshot_t "Det counters identical across reruns" s1 s1'
+
+(* Pinned golden snapshot for the fixed-seed explorer run (serial). A
+   change here means either the explorer's behaviour changed (update
+   EXPECTED alongside the transcript goldens) or an instrumentation point
+   moved — if the new value varies with -j, the counter is misclassified
+   and must become Volatile. *)
+let test_golden_explore_snapshot () =
+  B.Obs.reset ();
+  ignore (FS.explore_eig_n3t1 ~seed:42 ~trials:20 ());
+  let got = List.filter (fun (_, v) -> v > 0) (det_snapshot ()) in
+  let expected =
+    [
+      ("explore.schedules", 20);
+      ("explore.shrink_evals", 44);
+      ("explore.violations", 14);
+      ("faults.link_events_applied", 69);
+      ("sync_net.messages_dropped", 46);
+      ("sync_net.messages_sent", 1281);
+      ("sync_net.rounds", 156);
+      ("sync_net.runs", 78);
+    ]
+  in
+  Alcotest.check snapshot_t "golden Det snapshot (explore-eig-n3-t1, seed 42)" expected got
+
+(* {1 Spans} *)
+
+let collect_events f =
+  B.Obs.reset ();
+  B.Obs.set_tracing true;
+  Fun.protect ~finally:(fun () -> B.Obs.set_tracing false) f;
+  B.Obs.events ()
+
+(* Per domain, every End must name the innermost open Begin and no span
+   may stay open. [events] returns per-domain chronological streams, so
+   filtering by tid preserves each domain's program order. *)
+let check_well_nested evs =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let begins = ref 0 in
+  List.iter
+    (fun (e : B.Obs.event) ->
+      let stack = Option.value ~default:[] (Hashtbl.find_opt stacks e.tid) in
+      match e.ph with
+      | B.Obs.Begin ->
+        incr begins;
+        Hashtbl.replace stacks e.tid (e.ename :: stack)
+      | B.Obs.End -> (
+        match stack with
+        | top :: rest ->
+          Alcotest.(check string) "End names the innermost open span" top e.ename;
+          Hashtbl.replace stacks e.tid rest
+        | [] -> Alcotest.fail "End event without a matching Begin")
+      | B.Obs.Instant -> ())
+    evs;
+  Hashtbl.iter
+    (fun tid stack ->
+      Alcotest.(check int) (Printf.sprintf "domain %d has no open spans" tid) 0
+        (List.length stack))
+    stacks;
+  !begins
+
+let test_span_nesting_real_workload () =
+  let evs =
+    collect_events (fun () ->
+        (match Bn_experiments.Experiments.render ~jobs:4 "E1" with
+        | Some _ -> ()
+        | None -> Alcotest.fail "unknown experiment E1");
+        ignore (FS.explore_eig_n3t1 ~seed:42 ~trials:5 ()))
+  in
+  let begins = check_well_nested evs in
+  Alcotest.(check bool) "recorded a non-trivial number of spans" true (begins > 10);
+  Alcotest.(check int) "span_count matches Begin events" begins (B.Obs.span_count ());
+  let names =
+    List.filter_map
+      (fun (e : B.Obs.event) -> if e.ph = B.Obs.Begin then Some e.ename else None)
+      evs
+  in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace contains a %S span" required)
+        true (List.mem required names))
+    [ "exp.E1"; "pool.chunk"; "robust.search"; "sync_net.run"; "sync_net.round"; "explore.trial" ]
+
+let test_spans_off_by_default () =
+  B.Obs.reset ();
+  ignore (FS.explore_eig_n3t1 ~seed:42 ~trials:2 ());
+  Alcotest.(check int) "no spans recorded with tracing off" 0 (B.Obs.span_count ());
+  Alcotest.(check int) "no events recorded with tracing off" 0 (List.length (B.Obs.events ()))
+
+let prop_span_nesting =
+  QCheck.Test.make ~name:"random span shapes are well-nested" ~count:20
+    QCheck.(small_list (int_bound 4))
+    (fun shape ->
+      let evs =
+        collect_events (fun () ->
+            List.iter
+              (fun depth ->
+                let rec nest d =
+                  if d > 0 then B.Obs.span "test.obs.nest" (fun () -> nest (d - 1))
+                in
+                nest depth)
+              shape)
+      in
+      check_well_nested evs = List.fold_left ( + ) 0 shape)
+
+(* {1 Exporters} *)
+
+let test_exporters_valid_json () =
+  B.Obs.set_tracing true;
+  Fun.protect
+    ~finally:(fun () -> B.Obs.set_tracing false)
+    (fun () ->
+      B.Obs.reset ();
+      let h = B.Obs.hist "test.obs.hist" in
+      List.iter (B.Obs.observe h) [ 0; 1; 2; 3; 1000; 1000000 ];
+      ignore (FS.explore_eig_n3t1 ~seed:1 ~trials:5 ()));
+  Alcotest.(check bool) "chrome trace is valid JSON" true
+    (B.Obs.Json.validate (B.Obs.Export.chrome_trace ()));
+  Alcotest.(check bool) "metrics snapshot is valid JSON" true
+    (B.Obs.Json.validate (B.Obs.Export.metrics_json ()));
+  B.Obs.reset ();
+  Alcotest.(check bool) "empty chrome trace is valid JSON" true
+    (B.Obs.Json.validate (B.Obs.Export.chrome_trace ()));
+  Alcotest.(check bool) "empty metrics snapshot is valid JSON" true
+    (B.Obs.Json.validate (B.Obs.Export.metrics_json ()))
+
+let test_json_validator () =
+  let ok = [ "{}"; "[]"; "null"; "-12.5e-3"; {|{"a":[1,2,{"b":"x\né"}],"c":false}|} ] in
+  let bad = [ ""; "{"; "[1,]"; {|{"a":}|}; {|"unterminated|}; "{} x"; "01"; "+1"; "nul" ] in
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accepts %s" s) true (B.Obs.Json.validate s))
+    ok;
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "rejects %s" s) false (B.Obs.Json.validate s))
+    bad
+
+let prop_escape_valid =
+  QCheck.Test.make ~name:"json_escape always yields a valid JSON string" ~count:200
+    QCheck.string
+    (fun s -> B.Obs.Json.validate ("\"" ^ B.Obs.json_escape s ^ "\""))
+
+let suite =
+  [
+    Alcotest.test_case "counter registry" `Quick test_registry;
+    Alcotest.test_case "add2 batched update" `Quick test_add2;
+    Alcotest.test_case "gauge max" `Quick test_gauge;
+    QCheck_alcotest.to_alcotest prop_parallel_sum;
+    Alcotest.test_case "Det counters: jobs=1 = jobs=4 (E1-E3 + explore)" `Slow
+      test_det_jobs_invariant;
+    Alcotest.test_case "golden Det snapshot (fixed-seed explore)" `Quick
+      test_golden_explore_snapshot;
+    Alcotest.test_case "span nesting on a real workload" `Slow test_span_nesting_real_workload;
+    Alcotest.test_case "tracing off records nothing" `Quick test_spans_off_by_default;
+    QCheck_alcotest.to_alcotest prop_span_nesting;
+    Alcotest.test_case "exporters emit valid JSON" `Quick test_exporters_valid_json;
+    Alcotest.test_case "JSON validator accept/reject" `Quick test_json_validator;
+    QCheck_alcotest.to_alcotest prop_escape_valid;
+  ]
