@@ -14,7 +14,7 @@ let jobs =
   let rec scan = function
     | "-j" :: n :: _ | "--jobs" :: n :: _ -> int_of_string n
     | _ :: rest -> scan rest
-    | [] -> Domain.recommended_domain_count ()
+    | [] -> B.Pool.default_jobs ()
   in
   scan (Array.to_list Sys.argv)
 
@@ -176,8 +176,7 @@ let run_microbenches () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
   let raw = Benchmark.all cfg instances microbenches in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows = B.Tbl.sorted_bindings results in
   let tab = B.Tab.create ~title:"core kernels" [ "benchmark"; "time/run" ] in
   let estimates =
     List.filter_map
@@ -233,6 +232,28 @@ let run_speedup_table () =
     ("robust/3-resilience-n8", "parallel", jobs, par_t);
   ]
 
+(* Wall-clock for the full-tree lint pass, so BENCH json tracks how much
+   the determinism gate costs as the tree grows. Lint is serial by
+   design (one pass, deterministic report order), hence a single row. *)
+let run_lint_table () =
+  match Bn_lint.Lint.find_root () with
+  | None ->
+    print_endline "lint: no dune-project above the benchmark runner; skipping";
+    []
+  | Some root ->
+    let t0 = Unix.gettimeofday () in
+    let report = Bn_lint.Lint.run ~root in
+    let t = Unix.gettimeofday () -. t0 in
+    let tab = B.Tab.create ~title:"static analysis" [ "pass"; "files"; "wall" ] in
+    B.Tab.add_row tab
+      [
+        "lint/full-tree";
+        string_of_int report.files_scanned;
+        Printf.sprintf "%.1f ms" (t *. 1e3);
+      ];
+    B.Tab.print tab;
+    [ ("lint/full-tree", "serial", 1, t) ]
+
 (* {1 JSON perf artifact} *)
 
 let json_escape s =
@@ -276,6 +297,6 @@ let write_json file ~wall ~micro =
 
 let () =
   if not quick then experiments ();
-  let wall = run_speedup_table () in
+  let wall = run_speedup_table () @ run_lint_table () in
   let micro = run_microbenches () in
   Option.iter (fun file -> write_json file ~wall ~micro) json_file

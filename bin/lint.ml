@@ -1,0 +1,50 @@
+(* bn-lint driver: run the determinism/purity static-analysis pass over
+   the repo and report findings (human on stdout, optionally --json FILE).
+   Exit status: 0 clean, 1 unsuppressed findings, 2 usage/setup error. *)
+
+module Lint = Bn_lint.Lint
+
+let () =
+  let root = ref None in
+  let json = ref None in
+  let quiet = ref false in
+  let show_rules = ref false in
+  let spec =
+    [
+      ("--root", Arg.String (fun d -> root := Some d), "DIR Tree to lint (default: nearest ancestor with dune-project)");
+      ("--json", Arg.String (fun f -> json := Some f), "FILE Also write the machine-readable report to FILE");
+      ("--quiet", Arg.Set quiet, " Print only the summary line");
+      ("--rules", Arg.Set show_rules, " List the rules and exit");
+    ]
+  in
+  let usage = "lint.exe [--root DIR] [--json FILE] [--quiet] [--rules]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a))) usage;
+  if !show_rules then begin
+    print_string (Lint.rules_table ());
+    exit 0
+  end;
+  let root =
+    match !root with
+    | Some d -> d
+    | None -> (
+      match Lint.find_root () with
+      | Some d -> d
+      | None ->
+        prerr_endline "lint: no dune-project found above the current directory (use --root)";
+        exit 2)
+  in
+  let report = Lint.run ~root in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Lint.to_json report);
+      close_out oc)
+    !json;
+  let output = Lint.render_human report in
+  print_string
+    (if !quiet then
+       match String.rindex_opt (String.trim output) '\n' with
+       | Some i -> String.sub output (i + 1) (String.length output - i - 1)
+       | None -> output
+     else output);
+  exit (if Lint.unsuppressed report = [] then 0 else 1)

@@ -15,7 +15,7 @@ let list_cmd =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Domain.recommended_domain_count ())
+    & opt int (B.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Run parallel loops on $(docv) domains (default: the hardware's \

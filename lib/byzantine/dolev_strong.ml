@@ -59,7 +59,7 @@ let protocol ~pki ~n:_ ~t ~sender ~value ~default =
     st
   in
   let output ~me:_ st =
-    match Hashtbl.fold (fun v () acc -> v :: acc) st.accepted [] with
+    match Bn_util.Tbl.sorted_keys st.accepted with
     | [ v ] -> Some v
     | _ -> Some st.default
   in

@@ -12,8 +12,10 @@ type state = {
 (* Paths are stored reversed-free: [j1; j2; …; jr] means j1's initial value
    as relayed by j2, …, jr in successive rounds. *)
 
+(* Sorted by path, so the claim list (and hence the broadcast message) is a
+   pure function of the tree's contents, not of bucket order. *)
 let level_entries st r =
-  Hashtbl.fold (fun path v acc -> if List.length path = r then (path, v) :: acc else acc) st.tree []
+  List.filter (fun (path, _) -> List.length path = r) (Bn_util.Tbl.sorted_bindings st.tree)
 
 let protocol ~n ~t ~values ~default =
   let init me =
@@ -58,9 +60,8 @@ let protocol ~n ~t ~values ~default =
           (fun v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
           votes;
         let threshold = List.length children / 2 in
-        let winner = ref None in
-        Hashtbl.iter (fun v c -> if c > threshold then winner := Some v) counts;
-        match !winner with Some v -> v | None -> st.default
+        let winner = Bn_util.Tbl.find_first (fun _ c -> c > threshold) counts in
+        match winner with Some (v, _) -> v | None -> st.default
       end
     in
     if st.t = 0 then Some (match Hashtbl.find_opt st.tree [] with Some v -> v | None -> st.default)
@@ -72,9 +73,8 @@ let protocol ~n ~t ~values ~default =
         (fun v -> Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
         votes;
       let threshold = List.length children / 2 in
-      let winner = ref None in
-      Hashtbl.iter (fun v c -> if c > threshold then winner := Some v) counts;
-      Some (match !winner with Some v -> v | None -> st.default)
+      let winner = Bn_util.Tbl.find_first (fun _ c -> c > threshold) counts in
+      Some (match winner with Some (v, _) -> v | None -> st.default)
     end
   in
   { Bn_dist_sim.Sync_net.init; send; recv; output }

@@ -66,4 +66,4 @@ let run_all ?(jobs = 1) () =
      registry order afterwards keeps the transcript byte-identical to the
      serial run no matter how domains interleave. *)
   let pool = Bn_util.Pool.create ~domains:jobs () in
-  List.iter print_string (Bn_util.Pool.map pool (render_entry ~jobs) all)
+  List.iter Bn_util.Out.print_string (Bn_util.Pool.map pool (render_entry ~jobs) all)

@@ -1,0 +1,51 @@
+(** Bn_lint — the determinism/purity static-analysis pass.
+
+    Parses every [.ml]/[.mli] under [lib/], [bin/], [bench/] and [test/]
+    into Parsetree and runs the {!Rules} engine plus the tree-level
+    hygiene checks (H001 missing interfaces, H003 dune layering) over the
+    whole repo, turning the byte-identical-at-any[-j] contract into a
+    compile-time property instead of one the golden tests discover after
+    the fact. Driven by [bin/lint.exe]; [dune runtest] asserts the tree
+    itself is lint-clean (see [test/test_lint.ml]).
+
+    Reports are deterministic: findings are sorted by
+    (file, line, col, rule), paths are root-relative with ['/']
+    separators, and nothing in the output depends on the clock or the
+    environment — the [--json] report is byte-stable for a fixed tree. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted; suppressed findings included *)
+  files_scanned : int;  (** [.ml]/[.mli] files parsed *)
+  dune_files : int;  (** dune files checked for layering *)
+}
+
+val lint_source : file:string -> string -> Finding.t list
+(** Run the per-file rules (with suppression applied) over one unit given
+    as a string; [file] is its repo-relative path, which determines rule
+    scoping and [.ml]/[.mli] parsing. Unparsable sources yield a single
+    E000 finding. The tree-level rules (H001/H003) need {!run}. *)
+
+val run : root:string -> report
+(** Lint the tree rooted at [root] (the directory holding [lib/] …). *)
+
+val unsuppressed : report -> Finding.t list
+
+val find_root : ?start:string -> unit -> string option
+(** Nearest ancestor of [start] (default: the current directory)
+    containing a [dune-project] — how the driver, bench and tests locate
+    the tree from wherever dune runs them. *)
+
+(** {1 Rendering} *)
+
+val render_human : report -> string
+(** One line per unsuppressed finding plus a summary tail; ends with a
+    newline. *)
+
+val to_json : report -> string
+(** The machine report: schema [bn-lint/1] with a summary block
+    (per-rule unsuppressed counts included) and one record per finding,
+    suppressed ones carrying their reason. RFC 8259-valid and
+    byte-stable for a fixed tree. *)
+
+val rules_table : unit -> string
+(** The registry as an aligned [ID severity summary] listing. *)

@@ -16,9 +16,10 @@ let mulmod a b m =
     go (a mod m) b 0
   end
 
-let ops = ref 0
-
-let powmod base e m =
+(* The modular-multiplication counter is threaded explicitly (created per
+   [counted_is_prime] call) rather than kept as module state, so counts
+   stay exact when primality games run on several domains at once. *)
+let powmod ~ops base e m =
   let rec go base e acc =
     if e = 0 then acc
     else begin
@@ -33,7 +34,7 @@ let powmod base e m =
    63-bit range. *)
 let bases = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
 
-let miller_rabin n =
+let miller_rabin ~ops n =
   if n < 2 then false
   else if n mod 2 = 0 then n = 2
   else begin
@@ -43,7 +44,7 @@ let miller_rabin n =
       let a = a mod n in
       if a = 0 then false
       else begin
-        let x = powmod a d n in
+        let x = powmod ~ops a d n in
         if x = 1 || x = n - 1 then false
         else begin
           let rec loop x i =
@@ -62,8 +63,8 @@ let miller_rabin n =
   end
 
 let counted_is_prime n =
-  ops := 0;
-  let result = miller_rabin n in
+  let ops = ref 0 in
+  let result = miller_rabin ~ops n in
   (result, !ops)
 
 let is_prime n = fst (counted_is_prime n)

@@ -25,6 +25,10 @@
    have been joined (Pool joins its workers before returning), which is
    the only time the library reads counters back. *)
 
+[@@@lint.allow "D002"
+  "span/instant timestamps are Volatile export-only data: nothing reads a clock value back \
+   into computation, and the Det counter sections never contain times"]
+
 let now_us () = Unix.gettimeofday () *. 1e6
 
 (* {1 Global switches} *)

@@ -1,5 +1,9 @@
 (* The sink is domain-local so that pool workers capturing concurrently
    never see each other's output. [None] means stdout. *)
+[@@@lint.allow "P002"
+  "the per-domain render sink IS the Out mechanism: DLS keeps concurrent captures from \
+   interleaving, and nothing here schedules work"]
+
 let sink : Buffer.t option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 

@@ -9,8 +9,10 @@ let g_max_domains = Obs.gauge "pool.max_domains"
 
 type t = { budget : int }
 
+let default_jobs () = Domain.recommended_domain_count ()
+
 let create ?domains () =
-  let d = match domains with Some d -> d | None -> Domain.recommended_domain_count () in
+  let d = match domains with Some d -> d | None -> default_jobs () in
   { budget = max 1 d }
 
 let serial = { budget = 1 }

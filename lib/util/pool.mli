@@ -19,6 +19,11 @@
 type t
 (** A parallelism budget: how many domains an operation may use. *)
 
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the sanctioned way for drivers
+    (bin, bench) to pick a default [-j]; [Domain] access is otherwise
+    confined to this module and {!Bn_obs.Obs} (lint rule P002). *)
+
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] builds a pool that runs at most [domains] domains
     at once (including the calling one). Defaults to

@@ -26,4 +26,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
+      ("lint", Test_lint.suite);
     ]

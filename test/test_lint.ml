@@ -1,0 +1,235 @@
+(* Bn_lint: the determinism/purity static-analysis pass.
+
+   Per-rule fixtures (positive, negative, suppressed), the A001
+   suppression audit, a pinned golden --json report for a small fixture
+   tree, and — the point of the exercise — the assertion that the repo
+   itself is lint-clean, which is what makes the determinism contract a
+   property of every commit rather than of the golden tests that happen
+   to run. *)
+
+module L = Bn_lint.Lint
+module F = Bn_lint.Finding
+
+let lint path src = L.lint_source ~file:path src
+let unsup fs = List.filter (fun (f : F.t) -> f.suppressed = None) fs
+let rules fs = List.map (fun (f : F.t) -> f.rule) (unsup fs)
+
+let check_rules msg expected fs = Alcotest.(check (list string)) msg expected (rules fs)
+
+(* {1 D-rules} *)
+
+let test_d001 () =
+  let fs = lint "lib/game/jitter.ml" "let x () = Random.int 10\n" in
+  check_rules "Random flagged" [ "D001" ] fs;
+  let f = List.hd (unsup fs) in
+  Alcotest.(check (pair int int)) "location" (1, 11) (f.line, f.col);
+  check_rules "Stdlib.Random too" [ "D001" ]
+    (lint "lib/game/jitter.ml" "let x () = Stdlib.Random.int 10\n");
+  check_rules "module alias too" [ "D001" ] (lint "lib/game/jitter.ml" "module R = Random\n");
+  check_rules "fine inside Prng" [] (lint "lib/util/prng.ml" "let x () = Random.int 10\n")
+
+let test_d002 () =
+  check_rules "wall clock flagged" [ "D002" ]
+    (lint "lib/robust/t.ml" "let t () = Unix.gettimeofday ()\n");
+  check_rules "Sys.time flagged" [ "D002" ] (lint "test/t.ml" "let t () = Sys.time ()\n");
+  check_rules "bench may time" [] (lint "bench/main.ml" "let t () = Unix.gettimeofday ()\n")
+
+let test_d003 () =
+  check_rules "iter flagged" [ "D003" ]
+    (lint "lib/game/t.ml" "let f t = Hashtbl.iter (fun _ _ -> ()) t\n");
+  check_rules "fold flagged" [ "D003" ]
+    (lint "bin/t.ml" "let f t = Hashtbl.fold (fun _ _ n -> n + 1) t 0\n");
+  check_rules "membership fine" [] (lint "lib/game/t.ml" "let f t = Hashtbl.mem t 3\n")
+
+let test_d004_d005 () =
+  check_rules "Marshal flagged" [ "D004" ]
+    (lint "lib/game/t.ml" "let f x = Marshal.to_string x []\n");
+  check_rules "Obj.magic flagged" [ "D005" ] (lint "lib/game/t.ml" "let f x = Obj.magic x\n");
+  check_rules "Obj.repr alone is not D005" [] (lint "lib/game/t.ml" "let f x = Obj.repr x\n")
+
+(* {1 P-rules} *)
+
+let test_p001 () =
+  check_rules "toplevel Hashtbl.create" [ "P001" ]
+    (lint "lib/game/t.ml" "let cache = Hashtbl.create 16\n");
+  check_rules "toplevel ref" [ "P001" ] (lint "lib/game/t.ml" "let count = ref 0\n");
+  check_rules "toplevel ref inside submodule" [ "P001" ]
+    (lint "lib/game/t.ml" "module M = struct let count = ref 0 end\n");
+  check_rules "local state is fine" []
+    (lint "lib/game/t.ml" "let f () = let c = ref 0 in incr c; !c\n");
+  check_rules "lib/util may hold state" [] (lint "lib/util/t.ml" "let cache = Hashtbl.create 16\n");
+  check_rules "lib/obs may hold state" [] (lint "lib/obs/t.ml" "let count = ref 0\n")
+
+let test_p002 () =
+  check_rules "Atomic flagged" [ "P002" ] (lint "lib/game/t.ml" "let f x = Atomic.make x\n");
+  check_rules "Domain.spawn and join both flagged" [ "P002"; "P002" ]
+    (lint "lib/mediator/t.ml" "let f g = Domain.join (Domain.spawn g)\n");
+  check_rules "Pool is the site" [] (lint "lib/util/pool.ml" "let f g = Domain.spawn g\n");
+  check_rules "Obs is the site" [] (lint "lib/obs/obs.ml" "let t = Atomic.make false\n")
+
+let test_p003 () =
+  check_rules "print_endline flagged in lib" [ "P003" ]
+    (lint "lib/game/t.ml" "let f () = print_endline \"hi\"\n");
+  check_rules "Printf.printf flagged in lib" [ "P003" ]
+    (lint "lib/game/t.ml" "let f () = Printf.printf \"%d\" 3\n");
+  check_rules "Out is the site" []
+    (lint "lib/util/out.ml" "let print_string s = Stdlib.print_string s\n");
+  check_rules "drivers own stdout" [] (lint "bin/t.ml" "let f () = print_endline \"hi\"\n");
+  check_rules "Out-qualified is the sanctioned path" []
+    (lint "lib/game/t.ml" "let f () = Bn_util.Out.print_endline \"hi\"\n");
+  check_rules "sprintf is pure" []
+    (lint "lib/game/t.ml" "let f n = Printf.sprintf \"%d\" n\n")
+
+(* {1 H-rules} *)
+
+let test_h002 () =
+  check_rules "open List flagged" [ "H002" ] (lint "lib/game/t.ml" "open List\nlet f = map\n");
+  check_rules "open in .mli flagged" [ "H002" ] (lint "lib/game/t.mli" "open Printf\n");
+  check_rules "local open is scoped enough" []
+    (lint "lib/game/t.ml" "let f x = List.(map succ x)\n");
+  check_rules "project opens are fine" [] (lint "lib/game/t.ml" "open Bn_util\nlet x = 1\n")
+
+let test_e000 () =
+  check_rules "garbage yields E000" [ "E000" ] (lint "lib/game/t.ml" "let let let\n")
+
+(* {1 Suppression and the A001 audit} *)
+
+let test_allow_suppresses () =
+  let fs =
+    lint "lib/game/t.ml"
+      "[@@@lint.allow \"D003\" \"reviewed: sorted before escaping\"]\n\
+       let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n"
+  in
+  check_rules "nothing unsuppressed" [] fs;
+  match List.find_opt (fun (f : F.t) -> f.suppressed <> None) fs with
+  | Some f ->
+    Alcotest.(check string) "rule survives in report" "D003" f.rule;
+    Alcotest.(check (option string)) "reason recorded"
+      (Some "reviewed: sorted before escaping") f.suppressed
+  | None -> Alcotest.fail "suppressed finding missing from report"
+
+let test_allow_missing_reason () =
+  let fs = lint "lib/game/t.ml" "[@@@lint.allow \"D003\"]\nlet f t = Hashtbl.fold (fun k _ a -> k :: a) t []\n" in
+  (* The invalid allow suppresses nothing: both the D003 and the audit
+     finding surface. *)
+  check_rules "D003 stays + audit fires" [ "A001"; "D003" ] fs
+
+let test_allow_unknown_rule () =
+  check_rules "unknown rule audited" [ "A001" ]
+    (lint "lib/game/t.ml" "[@@@lint.allow \"Z999\" \"whatever\"]\nlet x = 1\n")
+
+let test_allow_unused () =
+  check_rules "unused allow audited" [ "A001" ]
+    (lint "lib/game/t.ml" "[@@@lint.allow \"D001\" \"stale reason\"]\nlet x = 1\n")
+
+(* {1 Golden --json report over a fixture tree} *)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let with_fixture_tree f =
+  let dir = Filename.temp_file "bn_lint_fixture" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let mkdir d = Unix.mkdir (Filename.concat dir d) 0o755 in
+  mkdir "lib";
+  mkdir "lib/demo";
+  let w rel content = write_file (Filename.concat dir rel) content in
+  w "dune-project" "(lang dune 3.0)\n";
+  w "lib/demo/dune" "(library\n (name bn_obs)\n (libraries bn_util))\n";
+  w "lib/demo/bad.ml" "let seed () = Random.self_init ()\nlet table = Hashtbl.create 8\n";
+  w "lib/demo/ok.ml"
+    "[@@@lint.allow \"D003\" \"reviewed: the result is sorted before it escapes\"]\n\n\
+     let pairs t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])\n";
+  w "lib/demo/ok.mli" "val pairs : ('a, 'b) Hashtbl.t -> ('a * 'b) list\n";
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let golden_json =
+  {json|{
+  "schema": "bn-lint/1",
+  "summary": {
+    "files": 3,
+    "dune_files": 1,
+    "unsuppressed": 4,
+    "suppressed": 1,
+    "by_rule": {"D001": 1, "P001": 1, "H001": 1, "H003": 1}
+  },
+  "findings": [
+    { "rule": "H001", "severity": "warning", "file": "lib/demo/bad.ml", "line": 1, "col": 0, "message": "lib/ module without an .mli: exports are unreviewed", "allowed": false },
+    { "rule": "D001", "severity": "error", "file": "lib/demo/bad.ml", "line": 1, "col": 14, "message": "use of Random.self_init: randomness must come from an explicit Bn_util.Prng seed", "allowed": false },
+    { "rule": "P001", "severity": "error", "file": "lib/demo/bad.ml", "line": 2, "col": 0, "message": "top-level mutable state (Hashtbl.create) outside lib/util and lib/obs — thread it or use an Obs counter", "allowed": false },
+    { "rule": "H003", "severity": "error", "file": "lib/demo/dune", "line": 2, "col": 0, "message": "bn_obs must sit below every in-tree library but depends on bn_util", "allowed": false },
+    { "rule": "D003", "severity": "error", "file": "lib/demo/ok.ml", "line": 3, "col": 33, "message": "Hashtbl.fold traverses in bucket order; use Bn_util.Tbl.sorted_bindings (or keep the result from escaping)", "allowed": true, "reason": "reviewed: the result is sorted before it escapes" }
+  ]
+}
+|json}
+
+let test_golden_json () =
+  with_fixture_tree (fun dir ->
+      let report = L.run ~root:dir in
+      Alcotest.(check string) "pinned --json report" golden_json (L.to_json report);
+      Alcotest.(check int) "exit-worthy findings" 4 (List.length (L.unsuppressed report)))
+
+(* Deleting the suppression attribute resurfaces the finding: the allow
+   set is load-bearing, not decorative. *)
+let test_deleted_suppression_resurfaces () =
+  with_fixture_tree (fun dir ->
+      write_file
+        (Filename.concat dir "lib/demo/ok.ml")
+        "let pairs t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])\n";
+      let report = L.run ~root:dir in
+      let d003 =
+        List.filter (fun (f : F.t) -> f.rule = "D003") (L.unsuppressed report)
+      in
+      match d003 with
+      | [ f ] ->
+        Alcotest.(check string) "right file" "lib/demo/ok.ml" f.file;
+        Alcotest.(check int) "right line" 1 f.line
+      | _ -> Alcotest.fail "expected exactly one unsuppressed D003")
+
+(* {1 The repo itself is lint-clean} *)
+
+let test_repo_is_clean () =
+  match L.find_root () with
+  | None -> Alcotest.fail "no dune-project above the test runner"
+  | Some root ->
+    let report = L.run ~root in
+    Alcotest.(check bool) "dune files checked" true (report.dune_files >= 15);
+    Alcotest.(check bool) "scanned a real tree" true (report.files_scanned > 150);
+    (match L.unsuppressed report with
+    | [] -> ()
+    | fs ->
+      Alcotest.fail
+        (String.concat "\n" ("repo has unsuppressed lint findings:" :: List.map F.to_string fs)));
+    (* Every suppression is explicit and reasoned (A001 enforces the
+       reason; this pins the audit trail shape). *)
+    List.iter
+      (fun (f : F.t) ->
+        match f.suppressed with
+        | Some reason -> Alcotest.(check bool) "reason non-empty" true (String.length reason > 0)
+        | None -> ())
+      report.findings
+
+let suite =
+  [
+    Alcotest.test_case "D001 randomness" `Quick test_d001;
+    Alcotest.test_case "D002 wall clock" `Quick test_d002;
+    Alcotest.test_case "D003 hashtbl order" `Quick test_d003;
+    Alcotest.test_case "D004/D005 marshal, magic" `Quick test_d004_d005;
+    Alcotest.test_case "P001 top-level state" `Quick test_p001;
+    Alcotest.test_case "P002 domain confinement" `Quick test_p002;
+    Alcotest.test_case "P003 stdout discipline" `Quick test_p003;
+    Alcotest.test_case "H002 shadowing opens" `Quick test_h002;
+    Alcotest.test_case "E000 parse failure" `Quick test_e000;
+    Alcotest.test_case "allow: suppresses with reason" `Quick test_allow_suppresses;
+    Alcotest.test_case "allow: missing reason audited" `Quick test_allow_missing_reason;
+    Alcotest.test_case "allow: unknown rule audited" `Quick test_allow_unknown_rule;
+    Alcotest.test_case "allow: unused audited" `Quick test_allow_unused;
+    Alcotest.test_case "golden --json fixture report" `Quick test_golden_json;
+    Alcotest.test_case "deleted suppression resurfaces" `Quick test_deleted_suppression_resurfaces;
+    Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_clean;
+  ]
