@@ -145,6 +145,14 @@ let bench_fault_explore =
     (Staged.stage (fun () ->
          ignore (Bn_experiments.Fault_sweep.explore_eig_n3t1 ~seed:42 ~trials:20 ())))
 
+(* The mediator sweep's smallest impossibility cell, end-to-end: 10 seeded
+   schedules against the asynchronous cheap-talk protocol at n = 4(k+t),
+   including invariant checks and shrinking of every violation found. *)
+let bench_mediator_sweep =
+  Test.make ~name:"mediator/async-sweep-quick"
+    (Staged.stage (fun () ->
+         ignore (Bn_experiments.Mediator_sweep.explore_async_n4k1t0 ~seed:42 ~trials:10 ())))
+
 let microbenches =
   Test.make_grouped ~name:"beyond_nash" ~fmt:"%s %s"
     [
@@ -164,6 +172,7 @@ let microbenches =
       bench_phase_king;
       bench_replicator;
       bench_fault_explore;
+      bench_mediator_sweep;
     ]
 
 (* Runs the suite, prints the table and returns [(name, ns_per_run)] rows

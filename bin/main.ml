@@ -178,19 +178,55 @@ let quick_arg =
     value & flag
     & info [ "quick" ] ~doc:"Restrict --explore to the small (CI smoke) config subset.")
 
+let mediator_sweep_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mediator-sweep" ] ~docv:"N"
+        ~doc:
+          "Run the asynchronous-mediator regime sweep: classify the (n,k,t) grid \
+           (synchronous bullets and the asynchronous $(b,n > 4(k+t)) threshold), \
+           cross-check with the k-resilient sequential-equilibrium checker, and \
+           explore $(docv) seeded schedules per cell — zero violations expected on \
+           the possibility side, a shrunk replayable counterexample on the \
+           impossibility side.")
+
+let sweep_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sweep-json" ] ~docv:"FILE"
+        ~doc:
+          "With --mediator-sweep, also write the sweep as a JSON artifact \
+           (schema mediator-sweep/1) to $(docv).")
+
 let default_term =
-  let run explore faults seed quick jobs obs =
-    match (explore, faults) with
-    | None, false -> `Help (`Pager, None)
+  let run explore faults seed quick mediator sweep_json jobs obs =
+    match (explore, faults, mediator) with
+    | None, false, None -> `Help (`Pager, None)
     | _ ->
       with_obs obs (fun () ->
           if faults then Bn_experiments.Fault_sweep.demo ~seed ();
           Option.iter
             (fun trials -> Bn_experiments.Fault_sweep.render ~jobs ~quick ~trials ~seed ())
             explore;
+          Option.iter
+            (fun trials ->
+              Bn_experiments.Mediator_sweep.render ~jobs ~trials ~seed ();
+              Option.iter
+                (fun file ->
+                  let oc = open_out file in
+                  output_string oc (Bn_experiments.Mediator_sweep.sweep_json ~jobs ~trials ~seed ());
+                  close_out oc;
+                  Printf.eprintf "wrote %s\n%!" file)
+                sweep_json)
+            mediator;
           `Ok ())
   in
-  Term.(ret (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ jobs_arg $ obs_args))
+  Term.(
+    ret
+      (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ mediator_sweep_arg
+     $ sweep_json_arg $ jobs_arg $ obs_args))
 
 let main =
   let doc = "Reproduction of Halpern's `Beyond Nash Equilibrium' (PODC 2008)." in

@@ -49,6 +49,8 @@ module Robust = Bn_robust.Robust
 module Mediated = Bn_mediator.Mediated
 module Feasibility = Bn_mediator.Feasibility
 module Cheap_talk = Bn_mediator.Cheap_talk
+module Async_cheap_talk = Bn_mediator.Async_cheap_talk
+module Sequential = Bn_mediator.Sequential
 module Ba_game = Bn_mediator.Ba_game
 module Rational_ss = Bn_mediator.Rational_ss
 module Sunspot = Bn_mediator.Sunspot

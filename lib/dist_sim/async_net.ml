@@ -31,13 +31,14 @@ let delayer ~victim ~budget pending =
 
 (* Environment faults for the asynchronous network: once the scheduler has
    committed to delivering a message, the filter may still [Drop] it (it
-   vanishes — no retransmission) or [Duplicate] it (delivered now and
-   re-enqueued as a fresh in-flight copy). [step] is the 0-based delivery
+   vanishes — no retransmission), [Duplicate] it (delivered now and
+   re-enqueued as a fresh in-flight copy), or [Replace] its payload (the
+   asynchronous face of {!Faults.Corrupt}). [step] is the 0-based delivery
    step, so filters driven by a {!Bn_util.Prng} stream are deterministic
    for a fixed seed and scheduler. *)
-type fault_verdict = Deliver | Drop | Duplicate
+type 'm fault_verdict = Deliver | Drop | Duplicate | Replace of 'm
 
-type 'm fault_filter = step:int -> 'm in_flight -> fault_verdict
+type 'm fault_filter = step:int -> 'm in_flight -> 'm fault_verdict
 
 type 'o result = {
   decisions : 'o option array;
@@ -75,10 +76,11 @@ let run ?(max_steps = 100_000) ?faults ~n ~scheduler process =
     in
     (match verdict with
     | Drop -> incr dropped
-    | Deliver | Duplicate ->
-      if verdict = Duplicate then post m.sender (m.dest, m.payload);
+    | (Deliver | Duplicate | Replace _) as v ->
+      (match v with Duplicate -> post m.sender (m.dest, m.payload) | _ -> ());
+      let payload = match v with Replace p -> p | _ -> m.payload in
       let state, outgoing =
-        process.on_message ~me:m.dest states.(m.dest) ~sender:m.sender m.payload
+        process.on_message ~me:m.dest states.(m.dest) ~sender:m.sender payload
       in
       states.(m.dest) <- state;
       List.iter (post m.dest) outgoing);

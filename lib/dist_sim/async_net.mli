@@ -33,14 +33,17 @@ val delayer : victim:int -> budget:int ref -> 'm scheduler
     budget is exhausted it behaves like {!fifo}. (A finite budget models
     the eventual-delivery fairness assumption.) *)
 
-type fault_verdict = Deliver | Drop | Duplicate
+type 'm fault_verdict = Deliver | Drop | Duplicate | Replace of 'm
 
-type 'm fault_filter = step:int -> 'm in_flight -> fault_verdict
+type 'm fault_filter = step:int -> 'm in_flight -> 'm fault_verdict
 (** Applied after the scheduler commits to a message: [Drop] loses it (no
-    retransmission), [Duplicate] delivers it and re-enqueues a fresh copy.
-    [step] is the 0-based delivery step, so a {!Bn_util.Prng}-driven
-    filter is deterministic for a fixed seed and scheduler — see
-    {!Bn_dist_sim.Faults.async_filter}. *)
+    retransmission), [Duplicate] delivers it and re-enqueues a fresh copy,
+    [Replace p] delivers payload [p] instead (a Byzantine link — the
+    asynchronous face of {!Bn_dist_sim.Faults.Corrupt}). [step] is the
+    0-based delivery step, so a {!Bn_util.Prng}-driven filter is
+    deterministic for a fixed seed and scheduler — see
+    {!Bn_dist_sim.Faults.async_filter} and
+    {!Bn_dist_sim.Faults.async_plan}. *)
 
 type 'o result = {
   decisions : 'o option array;

@@ -144,9 +144,68 @@ let async_filter rng ~drop ~dup =
     else if u < drop +. dup then Async_net.Duplicate
     else Async_net.Deliver
 
+(* Asynchronous reading of a declarative schedule. There are no rounds, so
+   events apply by link: a crash silences every message the victim sends, a
+   drop/corrupt/duplicate applies to every delivery on its (src, dst) link
+   regardless of the event's [round] field. Duplicate fires once per link —
+   Async_net re-enqueues the copy as a fresh in-flight message, so an
+   unconditional Duplicate verdict would re-duplicate its own copies
+   forever. The filter's only state is the once-per-link memo, created
+   fresh per call, so one plan value must not be shared across runs. *)
+let async_plan ?corrupt schedule =
+  let dup_used = ref [] in
+  let has p = List.exists p schedule in
+  fun ~step:_ (m : 'm Async_net.in_flight) ->
+    let src = m.Async_net.sender and dst = m.Async_net.dest in
+    if has (function Crash { proc; _ } -> proc = src | _ -> false) then begin
+      Obs.incr c_link_events;
+      Async_net.Drop
+    end
+    else if has (function Drop { src = s; dst = d; _ } -> s = src && d = dst | _ -> false)
+    then begin
+      Obs.incr c_link_events;
+      Async_net.Drop
+    end
+    else if has (function Corrupt { src = s; dst = d; _ } -> s = src && d = dst | _ -> false)
+    then begin
+      Obs.incr c_link_events;
+      match corrupt with
+      | None -> Async_net.Deliver
+      | Some f -> Async_net.Replace (f ~src ~dst m.Async_net.payload)
+    end
+    else if
+      (not (List.mem (src, dst) !dup_used))
+      && has (function Duplicate { src = s; dst = d; _ } -> s = src && d = dst | _ -> false)
+    then begin
+      Obs.incr c_link_events;
+      dup_used := (src, dst) :: !dup_used;
+      Async_net.Duplicate
+    end
+    else Async_net.Deliver
+
+(* Delay and Partition have no asynchronous loss semantics: they become
+   pure scheduling pressure. Matching messages are starved while any fresh
+   message is pending but are still delivered once only starved messages
+   remain, so eventual delivery (fairness) is preserved — the no-culprit
+   events of {!culprits} stay harmless on their own, exactly as in the
+   synchronous reading where partitions heal. *)
+let async_scheduler schedule =
+  let starved (m : 'm Async_net.in_flight) =
+    List.exists
+      (function
+        | Delay { src; dst; _ } -> src = m.Async_net.sender && dst = m.Async_net.dest
+        | Partition { groups; _ } -> not (same_group groups m.Async_net.sender m.Async_net.dest)
+        | Drop _ | Duplicate _ | Crash _ | Corrupt _ -> false)
+      schedule
+  in
+  fun pending ->
+    match List.filter (fun m -> not (starved m)) pending with
+    | [] -> Async_net.fifo pending
+    | fresh -> Async_net.fifo fresh
+
 (* {1 Seed-deterministic random schedules} *)
 
-type kind = KDrop | KDuplicate | KDelay | KCrash | KPartition
+type kind = KDrop | KDuplicate | KDelay | KCrash | KPartition | KCorrupt
 
 type gen = {
   n : int;  (** processes 0..n-1 *)
@@ -185,10 +244,14 @@ let random_schedule rng g =
             from_round = round;
             heal_round = round + 1 + Bn_util.Prng.int rng 2;
             groups = [ group true; group false ];
-          })
+          }
+      | KCorrupt -> Corrupt { round; src; dst })
 
 let crash_only ~n ~rounds ~max_crashes =
   { n; rounds; max_events = max_crashes; kinds = [ KCrash ]; max_culprits = max_crashes }
 
 let omission ~n ~rounds ~max_events ~max_culprits =
   { n; rounds; max_events; kinds = [ KDrop; KDelay; KDuplicate; KCrash ]; max_culprits }
+
+let byzantine ~n ~rounds ~max_events ~max_culprits =
+  { n; rounds; max_events; kinds = [ KDrop; KDelay; KDuplicate; KCrash; KCorrupt ]; max_culprits }

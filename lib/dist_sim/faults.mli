@@ -69,9 +69,31 @@ val async_filter :
     Raises [Invalid_argument] unless [drop, dup >= 0] and
     [drop +. dup <= 1]. *)
 
+val async_plan :
+  ?corrupt:(src:int -> dst:int -> 'm -> 'm) ->
+  schedule ->
+  'm Async_net.fault_filter
+(** The asynchronous reading of a declarative schedule — rounds do not
+    exist, so events apply by link: [Crash] silences every message its
+    victim sends, [Drop]/[Corrupt] apply to every delivery on their
+    (src, dst) link, and [Duplicate] fires once per link (Async_net
+    re-enqueues copies as fresh messages, so an unconditional duplicate
+    would loop forever). [Delay] and [Partition] are ignored here — give
+    the schedule to {!async_scheduler} for their scheduling-pressure
+    reading. The filter carries the once-per-link memo, so build a fresh
+    plan per {!Async_net.run}. *)
+
+val async_scheduler : schedule -> 'm Async_net.scheduler
+(** Starves messages matching the schedule's [Delay] links and
+    [Partition] cross-group pairs while any other message is pending, FIFO
+    otherwise; once only starved messages remain they are delivered FIFO,
+    so every message is still eventually delivered — no-culprit events
+    stay harmless on their own, mirroring partition healing in the
+    synchronous reading. Deterministic (no randomness, no state). *)
+
 (** {1 Seed-deterministic random schedules} *)
 
-type kind = KDrop | KDuplicate | KDelay | KCrash | KPartition
+type kind = KDrop | KDuplicate | KDelay | KCrash | KPartition | KCorrupt
 
 type gen = {
   n : int;  (** processes 0..n-1 *)
@@ -88,3 +110,8 @@ val random_schedule : Bn_util.Prng.t -> gen -> schedule
 
 val crash_only : n:int -> rounds:int -> max_crashes:int -> gen
 val omission : n:int -> rounds:int -> max_events:int -> max_culprits:int -> gen
+
+val byzantine : n:int -> rounds:int -> max_events:int -> max_culprits:int -> gen
+(** Every kind except partitions — omission faults plus message
+    corruption, the sub-Byzantine behaviours a (k,t)-robust protocol must
+    absorb from at most [max_culprits] processes. *)

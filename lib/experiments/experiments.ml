@@ -1,6 +1,7 @@
 (** Registry of the paper-reproduction experiments E1–E12 and the extension
-    experiments E13–E15 (correlated-equilibrium mediator value, rational
-    secret sharing, and asynchronous scheduling).
+    experiments E13–E16 (correlated-equilibrium mediator value, rational
+    secret sharing, asynchronous scheduling, and the asynchronous-mediator
+    regime sweep).
 
     Each entry regenerates one table/claim of Halpern (PODC 2008); the
     mapping to paper sections is in DESIGN.md §4 and the measured outcomes
@@ -36,6 +37,7 @@ let all : entry list =
     (Exp_e13.name, Exp_e13.title, Exp_e13.run);
     (Exp_e14.name, Exp_e14.title, Exp_e14.run);
     (Exp_e15.name, Exp_e15.title, Exp_e15.run);
+    (Exp_e16.name, Exp_e16.title, Exp_e16.run);
   ]
 
 let find id = List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = String.lowercase_ascii id) all

@@ -99,6 +99,27 @@ let classify ~n ~k ~t a =
     Impossible
       { reason = "n <= 2k+2t: not eps-implementable, even with broadcast channels"; bullet = 6 }
 
+(* {1 Asynchronous cheap talk (Abraham–Dolev–Geffner–Halpern)} *)
+
+type async_verdict =
+  | Async_implementable
+  | Async_breaks_under_faults
+  | Async_breaks_fault_free
+
+let classify_async ~n ~k ~t =
+  if n < 1 || k < 1 || t < 0 then
+    invalid_arg "Feasibility.classify_async: need n >= 1, k >= 1, t >= 0";
+  let f = k + t in
+  if n > 4 * f then Async_implementable
+  else if n > 3 * f then Async_breaks_under_faults
+  else Async_breaks_fault_free
+
+let describe_async = function
+  | Async_implementable -> "async-implementable (n > 4(k+t))"
+  | Async_breaks_under_faults ->
+    "async-impossible (3(k+t) < n <= 4(k+t): k+t silent parties stall decoding)"
+  | Async_breaks_fault_free -> "async-impossible (n <= 3(k+t): stalls even fault-free)"
+
 let describe = function
   | Implementable { exact; running_time; needs; bullet } ->
     let rt =

@@ -45,3 +45,27 @@ val describe : verdict -> string
 
 val bullet_text : int -> string
 (** The paper's statement being applied (abridged). *)
+
+(** {1 Asynchronous cheap talk}
+
+    The successor paper (Abraham–Dolev–Geffner–Halpern, arXiv:1806.01214)
+    moves the characterization to asynchronous networks: a (k,t)-robust
+    mediator is implementable by asynchronous cheap talk iff
+    [n > 4(k+t)]. The executable protocol ({!Async_cheap_talk}) makes the
+    two impossibility regimes distinguishable: with [3(k+t) < n ≤ 4(k+t)]
+    decoding stalls only when [k+t] parties fall silent, while with
+    [n ≤ 3(k+t)] it stalls even in fault-free executions. *)
+
+type async_verdict =
+  | Async_implementable  (** [n > 4(k+t)]. *)
+  | Async_breaks_under_faults
+      (** [3(k+t) < n ≤ 4(k+t)]: a schedule silencing [k+t] parties leaves
+          fewer than [3(k+t)+1] shares, below the decoding bound. *)
+  | Async_breaks_fault_free
+      (** [n ≤ 3(k+t)]: even all [n] shares are too few to decode. *)
+
+val classify_async : n:int -> k:int -> t:int -> async_verdict
+(** Same domain as {!classify}.
+    @raise Invalid_argument unless [n ≥ 1], [k ≥ 1], [t ≥ 0]. *)
+
+val describe_async : async_verdict -> string

@@ -13,6 +13,7 @@ let () =
       ("dist-byz", Test_dist_byz.suite);
       ("faults", Test_faults.suite);
       ("mediator", Test_mediator.suite);
+      ("async-mediator", Test_async_mediator.suite);
       ("machine", Test_machine.suite);
       ("repeated", Test_repeated.suite);
       ("awareness", Test_awareness.suite);

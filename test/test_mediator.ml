@@ -93,6 +93,133 @@ let feasibility_monotone_in_n =
       in
       (not (implementable n)) || implementable (n + 1))
 
+(* {1 Exhaustiveness of the nine bullets (satellite: property test)} *)
+
+let assumptions_gen =
+  (* All 32 assumption combinations, uniformly. *)
+  QCheck.Gen.map
+    (fun bits ->
+      {
+        F.utilities_known = bits land 1 <> 0;
+        punishment = bits land 2 <> 0;
+        broadcast = bits land 4 <> 0;
+        crypto = bits land 8 <> 0;
+        pki = bits land 16 <> 0;
+      })
+    (QCheck.Gen.int_range 0 31)
+
+let assumptions_arb =
+  QCheck.make assumptions_gen
+    ~print:(fun a ->
+      Printf.sprintf "{utilities=%b; punishment=%b; broadcast=%b; crypto=%b; pki=%b}"
+        a.F.utilities_known a.F.punishment a.F.broadcast a.F.crypto a.F.pki)
+
+let bullet_of = function
+  | F.Implementable { bullet; _ } | F.Impossible { bullet; _ } -> bullet
+
+let classify_exhaustive =
+  QCheck.Test.make ~count:500
+    ~name:"feasibility: every (n,k,t,assumptions) maps to exactly one bullet, odd iff implementable"
+    QCheck.(
+      pair (triple (int_range 1 15) (int_range 1 3) (int_range 0 3)) assumptions_arb)
+    (fun ((n, k, t), a) ->
+      let v = classify ~n ~k ~t a in
+      let v' = classify ~n ~k ~t a in
+      let b = bullet_of v in
+      (* total + deterministic, bullet in the paper's 1..9 range, and the
+         paper's ordering: implementable bullets are the odd ones. *)
+      v = v' && b >= 1 && b <= 9
+      && (match v with F.Implementable _ -> b mod 2 = 1 | F.Impossible _ -> b mod 2 = 0))
+
+let classify_monotone_in_assumptions =
+  QCheck.Test.make ~count:300
+    ~name:"feasibility: adding assumptions never flips implementable -> impossible"
+    QCheck.(
+      pair (triple (int_range 1 15) (int_range 1 3) (int_range 0 3))
+        (pair assumptions_arb assumptions_arb))
+    (fun ((n, k, t), (a, b)) ->
+      let join =
+        {
+          F.utilities_known = a.F.utilities_known || b.F.utilities_known;
+          punishment = a.F.punishment || b.F.punishment;
+          broadcast = a.F.broadcast || b.F.broadcast;
+          crypto = a.F.crypto || b.F.crypto;
+          pki = a.F.pki || b.F.pki;
+        }
+      in
+      let implementable a =
+        match classify ~n ~k ~t a with F.Implementable _ -> true | F.Impossible _ -> false
+      in
+      (not (implementable a)) || implementable join)
+
+let test_bullet_thresholds_tight () =
+  (* Each regime boundary, off-by-one tight: one player above the
+     threshold lands on the implementable bullet, the threshold itself on
+     the matching impossibility bullet. *)
+  let expect name a n k t want =
+    let b = bullet_of (classify ~n ~k ~t a) in
+    Alcotest.(check int) (Printf.sprintf "%s at n=%d k=%d t=%d" name n k t) want b
+  in
+  for k = 1 to 3 do
+    for t = 0 to 3 do
+      (* 3k+3t: bare model (bullets 1/2). *)
+      expect "bullet 1" F.no_assumptions ((3 * k) + (3 * t) + 1) k t 1;
+      expect "bullet 2" F.no_assumptions ((3 * k) + (3 * t)) k t 2;
+      (* 2k+3t: punishment + known utilities (bullets 3/4). At t = 0 the
+         threshold coincides with 2k+2t and the cascade reports the
+         tighter bullet 6 instead. *)
+      let pu = { F.no_assumptions with F.utilities_known = true; punishment = true } in
+      expect "bullet 3" pu ((2 * k) + (3 * t) + 1) k t 3;
+      expect "bullet 4/6" pu ((2 * k) + (3 * t)) k t (if t > 0 then 4 else 6);
+      (* 2k+2t: broadcast (bullets 5/6). *)
+      let bc = { F.no_assumptions with F.broadcast = true } in
+      expect "bullet 5" bc ((2 * k) + (2 * t) + 1) k t 5;
+      expect "bullet 6" bc ((2 * k) + (2 * t)) k t 6;
+      (* k+3t: crypto (bullets 7/8). Bullet 8 is the blocker only while
+         k+3t <= 2k+2t, i.e. t <= k; past that the cascade blames the
+         tighter exact-impossibility bullet 4. *)
+      let cr = { F.no_assumptions with F.crypto = true } in
+      expect "bullet 7" cr (k + (3 * t) + 1) k t 7;
+      if t > 0 then expect "bullet 8/4" cr (k + (3 * t)) k t (if t <= k then 8 else 4);
+      (* k+t: pki reaches all the way down to n > k+t (bullet 9 — at t = 0
+         that regime is inside bullet 7's n > k+3t); at the bound even
+         every assumption together stays impossible. *)
+      expect "bullet 9/7" { F.no_assumptions with F.pki = true } (k + t + 1) k t
+        (if t > 0 then 9 else 7);
+      expect "below k+t" F.all_assumptions (max 1 (k + t)) k t 8
+    done
+  done
+
+(* {1 Async threshold (n > 4(k+t))} *)
+
+let test_classify_async_boundaries () =
+  let check n k t expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "async verdict at n=%d k=%d t=%d" n k t)
+      true
+      (F.classify_async ~n ~k ~t = expected)
+  in
+  check 5 1 0 F.Async_implementable;
+  check 4 1 0 F.Async_breaks_under_faults;
+  check 3 1 0 F.Async_breaks_fault_free;
+  check 9 1 1 F.Async_implementable;
+  check 8 1 1 F.Async_breaks_under_faults;
+  check 6 1 1 F.Async_breaks_fault_free;
+  Alcotest.check_raises "k = 0 rejected"
+    (Invalid_argument "Feasibility.classify_async: need n >= 1, k >= 1, t >= 0") (fun () ->
+      ignore (F.classify_async ~n:5 ~k:0 ~t:0))
+
+let async_needs_more_players_than_sync =
+  QCheck.Test.make ~count:200
+    ~name:"feasibility: async-implementable implies every sync bullet implementable"
+    QCheck.(triple (int_range 1 20) (int_range 1 3) (int_range 0 3))
+    (fun (n, k, t) ->
+      F.classify_async ~n ~k ~t <> F.Async_implementable
+      ||
+      match classify ~n ~k ~t F.no_assumptions with
+      | F.Implementable { bullet = 1; _ } -> true
+      | _ -> false)
+
 (* {1 Mediated games} *)
 
 let med4 = B.Ba_game.mediator ~n:4
@@ -170,6 +297,54 @@ let test_share_exchange_no_corruption () =
   let r = CT.share_exchange rng ~n:4 ~k:1 ~t:0 ~secret:7 ~corrupted:[] in
   Alcotest.(check bool) "t=0 works with n > k" true r.CT.succeeded
 
+(* Satellite: the exact decoding threshold n = k+3t+1, from both sides —
+   at the bound every honest player reconstructs the secret even with t
+   actively corrupted shares; one player short, the exchange rejects
+   cleanly (reported failure, no bogus reconstruction) rather than
+   decoding garbage. *)
+let test_share_exchange_exact_boundary () =
+  for k = 1 to 3 do
+    for t = 0 to 3 do
+      let at = k + (3 * t) + 1 in
+      let corrupted = List.init t (fun i -> at - 1 - i) in
+      let r = CT.share_exchange (B.Prng.create ((k * 17) + t)) ~n:at ~k ~t ~secret:4242 ~corrupted in
+      Alcotest.(check int) "threshold reported" at r.CT.threshold_needed;
+      Alcotest.(check bool)
+        (Printf.sprintf "n=k+3t+1=%d succeeds (k=%d t=%d)" at k t)
+        true r.CT.succeeded;
+      Array.iteri
+        (fun i v ->
+          if not (List.mem i corrupted) then
+            Alcotest.(check (option int))
+              (Printf.sprintf "player %d reconstructs at the bound" i)
+              (Some 4242) v)
+        r.CT.reconstructions
+    done
+  done
+
+let test_share_exchange_one_below_rejects_cleanly () =
+  for k = 1 to 3 do
+    for t = 0 to 3 do
+      let below = k + (3 * t) in
+      if below >= 2 then begin
+        let corrupted = List.init (min t (below - 1)) (fun i -> below - 1 - i) in
+        let r =
+          CT.share_exchange (B.Prng.create ((k * 19) + t)) ~n:below ~k ~t ~secret:4242 ~corrupted
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "n=k+3t=%d fails (k=%d t=%d)" below k t)
+          false r.CT.succeeded;
+        Array.iteri
+          (fun i v ->
+            if not (List.mem i corrupted) then
+              Alcotest.(check (option int))
+                (Printf.sprintf "player %d reports failure, not garbage" i)
+                None v)
+          r.CT.reconstructions
+      end
+    done
+  done
+
 let share_exchange_property =
   QCheck.Test.make ~count:40 ~name:"cheap talk: share exchange succeeds iff n > k+3t"
     QCheck.(triple (int_range 3 9) (int_range 1 2) (int_range 0 2))
@@ -193,6 +368,11 @@ let suite =
     Alcotest.test_case "below k+t" `Quick test_below_kt_impossible;
     Alcotest.test_case "classify validation" `Quick test_classify_invalid;
     QCheck_alcotest.to_alcotest feasibility_monotone_in_n;
+    QCheck_alcotest.to_alcotest classify_exhaustive;
+    QCheck_alcotest.to_alcotest classify_monotone_in_assumptions;
+    Alcotest.test_case "bullet thresholds off-by-one tight" `Quick test_bullet_thresholds_tight;
+    Alcotest.test_case "classify_async boundaries" `Quick test_classify_async_boundaries;
+    QCheck_alcotest.to_alcotest async_needs_more_players_than_sync;
     Alcotest.test_case "mediated: honest utilities" `Quick test_honest_utilities;
     Alcotest.test_case "mediated: truthful equilibrium" `Quick test_truthful_equilibrium;
     Alcotest.test_case "mediated: resilience" `Slow test_resilience_of_mediated;
@@ -207,5 +387,9 @@ let suite =
     Alcotest.test_case "cheap talk: share exchange thresholds" `Quick
       test_share_exchange_threshold;
     Alcotest.test_case "cheap talk: share exchange t=0" `Quick test_share_exchange_no_corruption;
+    Alcotest.test_case "cheap talk: exact threshold n=k+3t+1" `Quick
+      test_share_exchange_exact_boundary;
+    Alcotest.test_case "cheap talk: one below threshold rejects cleanly" `Quick
+      test_share_exchange_one_below_rejects_cleanly;
     QCheck_alcotest.to_alcotest share_exchange_property;
   ]
