@@ -137,6 +137,38 @@ let bench_replicator =
     (Staged.stage (fun () ->
          ignore (B.Learning.replicator ~rounds:500 B.Games.prisoners_dilemma)))
 
+let bench_fictitious_play =
+  Test.make ~name:"learning/fictitious-play-500-rounds"
+    (Staged.stage (fun () ->
+         ignore (B.Learning.fictitious_play ~rounds:500 B.Games.matching_pennies)))
+
+(* The value LP of a fixed 8×8 zero-sum game (v free as v⁺ − v⁻): 10
+   variables, 8 inequality rows plus one equality, so both simplex phases
+   run on every call. *)
+let bench_revised_simplex =
+  let n = 8 in
+  let payoff i j = float_of_int ((((i * 37) + (j * 11) + ((i * j) mod 13)) mod 17) - 8) in
+  let constraints =
+    List.init n (fun j ->
+        B.Simplex.ge
+          (Array.init (n + 2) (fun k ->
+               if k < n then payoff k j else if k = n then -1.0 else 1.0))
+          0.0)
+    @ [ B.Simplex.eq (Array.init (n + 2) (fun k -> if k < n then 1.0 else 0.0)) 1.0 ]
+  in
+  let objective = Array.init (n + 2) (fun k -> if k = n then 1.0 else if k = n + 1 then -1.0 else 0.0) in
+  Test.make ~name:"lp/revised-simplex-8x8"
+    (Staged.stage (fun () -> ignore (B.Simplex.solve { B.Simplex.objective; constraints })))
+
+(* The explorer sharded over the work-stealing pool map: 100 seeded
+   schedules (invariant checks + shrinking of each violation), the report
+   byte-identical at any -j. *)
+let bench_explore_sharded =
+  let pool = B.Pool.create ~domains:jobs () in
+  Test.make ~name:"explore/sharded-100-schedules"
+    (Staged.stage (fun () ->
+         ignore (Bn_experiments.Fault_sweep.explore_eig_n3t1 ~pool ~seed:42 ~trials:100 ())))
+
 (* Schedule exploration end-to-end: 20 seeded fault schedules against EIG
    at n = 3t, invariant checking plus greedy shrinking of the violations
    it finds (roughly two thirds of the schedules violate). *)
@@ -171,6 +203,9 @@ let microbenches =
       bench_rationalizable;
       bench_phase_king;
       bench_replicator;
+      bench_fictitious_play;
+      bench_revised_simplex;
+      bench_explore_sharded;
       bench_fault_explore;
       bench_mediator_sweep;
     ]

@@ -4,14 +4,17 @@
 
     Determinism contract: trial [i] of [explore ~seed] draws its schedule
     from [Prng.split (Prng.create seed) i], and trials are mapped over a
-    {!Bn_util.Pool} by index, so the report — verdicts, violating trials,
-    schedules and shrunk counterexamples — is bit-identical for any [-j]
-    and across runs with the same seed. Replaying a violation therefore
+    {!Bn_util.Pool} by index ({!Bn_util.Pool.map_array_steal}: stealing
+    rebalances which domain runs a trial — violating trials shrink and so
+    cost far more than clean ones — but never which slot its result fills),
+    so the report — verdicts, violating trials, schedules and shrunk
+    counterexamples — is bit-identical for any [-j] and across runs with
+    the same seed. Replaying a violation therefore
     needs only [(seed, trial)]; {!transcript} prints exactly that. *)
 
 module Obs = Bn_obs.Obs
 
-(* All trials run (Pool.map_array has no early exit) and shrinking is a
+(* All trials run (the pool map has no early exit) and shrinking is a
    sequential greedy loop per violation, so every explorer counter is
    deterministic in (seed, trials) — the values are part of the golden
    metrics snapshot in test_obs. *)
@@ -98,7 +101,7 @@ let explore ?(pool = Bn_util.Pool.serial) ~seed ~trials ~gen sys =
   if trials <= 0 then invalid_arg "Explore.explore: need trials > 0";
   let base = Bn_util.Prng.create seed in
   let outcomes =
-    Bn_util.Pool.map_array pool
+    Bn_util.Pool.map_array_steal pool
       (fun trial ->
         Obs.incr c_schedules;
         Obs.span "explore.trial" ~args:(fun () -> [ ("trial", Obs.I trial); ("seed", Obs.I seed) ])

@@ -165,14 +165,13 @@ let expected_payoffs g prof =
   let n = Normal_form.n_players g in
   match pure_actions prof with
   | Some p ->
-    let row = Normal_form.payoff_row g (Normal_form.index_of g p) in
-    Array.init n (fun i -> 0.0 +. row.(i))
+    let idx = Normal_form.index_of g p in
+    Array.init n (fun i -> 0.0 +. Normal_form.payoff_by_index g idx i)
   | None ->
     let acc = Array.make n 0.0 in
     iter_support g prof (fun _ idx pr ->
-        let row = Normal_form.payoff_row g idx in
         for i = 0 to n - 1 do
-          acc.(i) <- acc.(i) +. (pr *. row.(i))
+          acc.(i) <- acc.(i) +. (pr *. Normal_form.payoff_by_index g idx i)
         done);
     acc
 

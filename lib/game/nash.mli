@@ -16,7 +16,14 @@ val regret : Normal_form.t -> Mixed.profile -> player:int -> float
     player's strategy is a best response. *)
 
 val max_regret : Normal_form.t -> Mixed.profile -> float
-(** Maximum regret over all players. *)
+(** Maximum regret over all players. Two-player games evaluate on the flat
+    kernel ({!Normal_form.Flat}); results are bitwise-identical to
+    {!max_regret_naive}. *)
+
+val max_regret_naive : Normal_form.t -> Mixed.profile -> float
+(** Reference implementation of {!max_regret}: every expected utility
+    through {!Mixed.expected_payoff}. Retained as the oracle for the
+    kernel-agreement property tests. *)
 
 val is_nash : ?eps:float -> Normal_form.t -> Mixed.profile -> bool
 (** Whether no player has a profitable unilateral deviation (within [eps],

@@ -1,10 +1,18 @@
+(* Payoffs live on flat Bigarray float64 storage: one C-layout array per
+   player, indexed row-major by profile. Unboxed reads keep the hot loops
+   (deviation scans, support products, learning dynamics) allocation-free;
+   [Flat] hands kernels the raw arrays. *)
+
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n : int;
   acts : int array;
   player_names : string array;
   action_names : string array array;
   strides : int array;
-  table : float array array; (* profile index -> payoff vector *)
+  size : int;
+  tabs : ba array; (* tabs.(i).{profile index} = player i's payoff *)
 }
 
 let index_of t profile =
@@ -47,12 +55,17 @@ let create ?player_names ?action_names ~actions:acts u =
   in
   let strides = make_strides acts in
   let size = Array.fold_left ( * ) 1 acts in
-  let table = Array.make size [||] in
-  let t = { n; acts; player_names; action_names; strides; table } in
+  let tabs =
+    Array.init n (fun _ -> Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout size)
+  in
+  let t = { n; acts; player_names; action_names; strides; size; tabs } in
   Bn_util.Combin.iter_profiles acts (fun p ->
       let v = u p in
       if Array.length v <> n then invalid_arg "Normal_form.create: payoff arity";
-      table.(index_of t p) <- Array.copy v);
+      let idx = index_of t p in
+      for i = 0 to n - 1 do
+        Bigarray.Array1.set tabs.(i) idx v.(i)
+      done);
   t
 
 let of_bimatrix a b =
@@ -71,13 +84,16 @@ let actions t = Array.copy t.acts
 let player_name t i = t.player_names.(i)
 let action_name t i a = t.action_names.(i).(a)
 
-let payoff t profile i = t.table.(index_of t profile).(i)
-let payoff_vector t profile = Array.copy t.table.(index_of t profile)
+let payoff t profile i = Bigarray.Array1.get t.tabs.(i) (index_of t profile)
 
-let table_size t = Array.length t.table
+let payoff_vector t profile =
+  let idx = index_of t profile in
+  Array.init t.n (fun i -> Bigarray.Array1.get t.tabs.(i) idx)
+
+let table_size t = t.size
 let stride t i = t.strides.(i)
-let payoff_by_index t idx i = t.table.(idx).(i)
-let payoff_row t idx = t.table.(idx)
+let payoff_by_index t idx i = Bigarray.Array1.get t.tabs.(i) idx
+let payoff_row t idx = Array.init t.n (fun i -> Bigarray.Array1.get t.tabs.(i) idx)
 
 let shift_index t idx ~player ~from_ ~to_ = idx + ((to_ - from_) * t.strides.(player))
 
@@ -92,10 +108,16 @@ let map_payoffs f t =
     (fun p -> f p (payoff_vector t p))
 
 let is_zero_sum ?(eps = 1e-9) t =
-  let size = Array.length t.table in
+  (* Same accumulation order as summing a payoff row left-to-right. *)
   let rec go idx =
-    idx >= size
-    || (Float.abs (Array.fold_left ( +. ) 0.0 t.table.(idx)) <= eps && go (idx + 1))
+    if idx >= t.size then true
+    else begin
+      let s = ref 0.0 in
+      for i = 0 to t.n - 1 do
+        s := !s +. Bigarray.Array1.unsafe_get t.tabs.(i) idx
+      done;
+      Float.abs !s <= eps && go (idx + 1)
+    end
   in
   go 0
 
@@ -111,6 +133,12 @@ let is_symmetric_2p ?(eps = 1e-9) t =
       Float.abs (payoff t [| i; j |] 0 -. payoff t [| j; i |] 1) <= eps && go i (j + 1)
   in
   go 0 0
+
+module Flat = struct
+  type nonrec ba = ba
+
+  let table t i = t.tabs.(i)
+end
 
 let pp ppf t =
   if t.n = 2 then begin

@@ -1,9 +1,10 @@
 (** Finite n-player normal-form (strategic) games.
 
     A game is a set of players [0 … n−1], a finite action set per player and
-    a payoff vector per pure action profile. Payoffs are materialized in a
-    flat table indexed row-major by profile, so lookups during equilibrium
-    checks are O(1). *)
+    a payoff vector per pure action profile. Payoffs are materialized once at
+    construction into flat [Bigarray] float64 storage — one C-layout array
+    per player, indexed row-major by profile — so lookups during equilibrium
+    checks are O(1) and kernels ({!Flat}) run unboxed loops over them. *)
 
 type t
 
@@ -67,8 +68,8 @@ val payoff_by_index : t -> int -> int -> float
     flat index [idx] — a single table read. *)
 
 val payoff_row : t -> int -> float array
-(** The payoff vector at a flat index, {e without copying}: the returned
-    array is the table's own row and must not be mutated. *)
+(** The payoff vector at a flat index (fresh array — storage is
+    player-major, so a profile's row is gathered, not aliased). *)
 
 val profile_of_index : t -> int -> int array
 (** Decode a flat index back into a fresh pure profile;
@@ -90,6 +91,20 @@ val is_zero_sum : ?eps:float -> t -> bool
 val is_symmetric_2p : ?eps:float -> t -> bool
 (** For two-player games: whether [u1(i,j) = u2(j,i)] everywhere. Stops at
     the first counterexample. *)
+
+(** {2 Flat kernel}
+
+    Raw access to the payoff storage for unboxed hot loops. [table g i] is
+    player [i]'s payoffs over all pure profiles, indexed by the same
+    row-major flat index as {!payoff_by_index}: profile [p] lives at
+    [Σⱼ p.(j) · stride g j]. The array is the game's own storage — callers
+    must treat it as read-only. Use from outside the sanctioned kernel
+    modules trips the [P004] lint rule. *)
+module Flat : sig
+  type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val table : t -> int -> ba
+end
 
 val pp : Format.formatter -> t -> unit
 (** Render a two-player game as a payoff matrix, or a summary otherwise. *)

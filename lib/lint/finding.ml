@@ -30,6 +30,8 @@ let registry =
       summary = "Domain/Atomic/DLS outside Bn_util.Pool and Bn_obs.Obs" };
     { id = "P003"; rule_severity = Error;
       summary = "direct stdout printing in lib/ outside Bn_util.Out — rendering must go through Out sinks" };
+    { id = "P004"; rule_severity = Error;
+      summary = "Bigarray outside the flat numeric kernels (Normal_form, Nash, Learning, Simplex)" };
     { id = "H001"; rule_severity = Warning;
       summary = "lib/ module without an .mli interface" };
     { id = "H002"; rule_severity = Warning;

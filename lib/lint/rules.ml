@@ -14,6 +14,13 @@ let toplevel_state_site f = in_dir "lib/util/" f || in_dir "lib/obs/" f
 let domain_site f = f = "lib/util/pool.ml" || f = "lib/obs/obs.ml"
 let out_site f = f = "lib/util/out.ml"
 
+(* The flat numeric kernels: the only modules allowed to touch Bigarray
+   storage directly. Everyone else goes through their typed APIs. *)
+let bigarray_site f =
+  List.mem f
+    [ "lib/game/normal_form.ml"; "lib/game/normal_form.mli"; "lib/game/nash.ml";
+      "lib/game/learning.ml"; "lib/lp/simplex.ml" ]
+
 (* {1 Longident helpers} *)
 
 let rec flatten = function
@@ -69,6 +76,11 @@ let check_ident ~file lid loc =
       (Printf.sprintf "%s outside Bn_util.Pool / Bn_obs.Obs — raw parallelism breaks the \
                        deterministic-schedule contract"
          (String.concat "." (flatten lid)))
+  | "Bigarray" :: _ when is_lib file && not (bigarray_site file) ->
+    f "P004"
+      (Printf.sprintf "%s outside the flat numeric kernels — Bigarray storage is confined to \
+                       Normal_form/Nash/Learning/Simplex"
+         (String.concat "." (flatten lid)))
   | [ p ] when List.mem p stdout_printers && is_lib file && not (out_site file) ->
     f "P003" (Printf.sprintf "direct %s in lib/: render through Bn_util.Out sinks" p)
   | ([ "Printf"; "printf" ] | [ "Format"; ("printf" | "print_string" | "print_newline") ])
@@ -88,6 +100,9 @@ let check_module_ident ~file lid loc =
   | "Marshal" :: _ -> f "D004" "Marshal is representation-dependent and banned"
   | ("Domain" | "Atomic") :: _ when not (domain_site file) ->
     f "P002" "module Domain/Atomic outside Bn_util.Pool / Bn_obs.Obs"
+  | "Bigarray" :: _ when is_lib file && not (bigarray_site file) ->
+    f "P004"
+      "module Bigarray outside the flat numeric kernels (Normal_form/Nash/Learning/Simplex)"
   | _ -> None
 
 let check_open ~file lid loc =

@@ -5,6 +5,10 @@ module Obs = Bn_obs.Obs
    schedule-dependent. *)
 let c_calls = Obs.counter ~kind:Obs.Volatile "pool.calls"
 let c_chunks = Obs.counter ~kind:Obs.Volatile "pool.chunks"
+
+(* How many items a worker completed outside its own range: pure scheduling
+   telemetry, entirely timing-dependent. *)
+let c_steals = Obs.counter ~kind:Obs.Volatile "pool.steals"
 let g_max_domains = Obs.gauge "pool.max_domains"
 
 type t = { budget : int }
@@ -73,6 +77,53 @@ let map_array t f xs =
   end
 
 let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+(* Work-stealing variant of [map_array]: indices are still partitioned into
+   the same contiguous ranges, but ownership of an {e index} is decided by a
+   per-index CAS claim rather than by the partition, so a worker that
+   drains its range keeps going on other ranges instead of idling. Each
+   worker walks its own range front-to-back, then victims' ranges
+   back-to-front (starting from the next range up), so owner and thief
+   approach from opposite ends and contend only on a range's last pending
+   items. Every result still lands in the slot of the index it came from —
+   which indices were stolen affects timing and the [pool.steals] counter
+   only, never the returned array. *)
+let map_array_steal t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let d = effective_domains t n in
+    if d <= 1 then begin
+      let out = ref [||] in
+      run_workers ~d:1 (fun _ -> out := Array.map f xs);
+      !out
+    end
+    else begin
+      let out = Array.make n None in
+      let claimed = Array.init n (fun _ -> Atomic.make false) in
+      (* Claim-then-run: the CAS hands each index to exactly one worker. *)
+      let attempt i =
+        if Atomic.compare_and_set claimed.(i) false true then begin
+          out.(i) <- Some (f xs.(i));
+          true
+        end
+        else false
+      in
+      run_workers ~d (fun j ->
+          let lo, hi = chunk ~n ~d j in
+          for i = lo to hi - 1 do
+            ignore (attempt i)
+          done;
+          for k = 1 to d - 1 do
+            let v = (j + k) mod d in
+            let vlo, vhi = chunk ~n ~d v in
+            for i = vhi - 1 downto vlo do
+              if attempt i then Obs.incr c_steals
+            done
+          done);
+      Array.map (function Some y -> y | None -> assert false) out
+    end
+  end
 
 let find_first t f xs =
   let n = Array.length xs in

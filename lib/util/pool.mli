@@ -45,6 +45,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}. *)
 
+val map_array_steal : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Work-stealing {!map_array}: same contiguous ranges, but a worker that
+    finishes its own range claims pending indices from other ranges
+    (back-to-front, via a per-index atomic claim) instead of idling.
+    Results are written to the slot of the index they came from, so for
+    pure [f] the returned array is byte-identical to {!map_array} — and to
+    the serial map — for every pool size; only the wall-clock balance and
+    the volatile [pool.steals] counter depend on who ran what. Prefer this
+    over {!map_array} when per-item cost is skewed (e.g. explorer trials
+    that shrink a counterexample). *)
+
 val iter_grid : t -> ('a -> unit) -> 'a array -> unit
 (** [iter_grid pool f grid] applies [f] to every grid point, partitioned
     over domains in contiguous chunks. [f] runs concurrently: calls for

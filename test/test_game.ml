@@ -191,6 +191,51 @@ let outcome_dist_support_property =
            (fun (p, pr) -> Float.abs (B.Dist.mass d p -. (pr /. total)) <= 1e-12)
            !expected)
 
+(* {2 Flat Bigarray storage}
+
+   The flat tables are the single source of payoff truth, so pin them
+   against the {e generating function} (not against [payoff], which reads
+   the same tables): every stored entry must be exactly the float the
+   creation closure produced. *)
+
+let flat_table_matches_generator_property =
+  QCheck.Test.make ~count:100 ~name:"flat: stored tables equal the generating function (bitwise)"
+    QCheck.(array_of_size (Gen.return 12) (float_range (-3.0) 3.0))
+    (fun payoffs ->
+      let g, _ = kernel_case_of_draw payoffs in
+      let ok = ref true in
+      B.Normal_form.iter_profiles g (fun p ->
+          let idx = B.Normal_form.index_of g p in
+          let i12 = (p.(0) * 6) + (p.(1) * 2) + p.(2) in
+          let expected =
+            [| payoffs.(i12); payoffs.((i12 + 7) mod 12); payoffs.((i12 + 3) mod 12) |]
+          in
+          for i = 0 to 2 do
+            if Bigarray.Array1.get (B.Normal_form.Flat.table g i) idx <> expected.(i) then
+              ok := false
+          done);
+      !ok)
+
+(* Random 3×3 two-player game plus a sparse non-negative profile from the
+   same draw, for the 2-player flat fast paths. *)
+let two_player_case_of_draw payoffs =
+  let g =
+    B.Normal_form.of_bimatrix
+      (Array.init 3 (fun i -> Array.init 3 (fun j -> payoffs.(((3 * i) + j) mod 18))))
+      (Array.init 3 (fun i -> Array.init 3 (fun j -> payoffs.(((3 * i) + j + 7) mod 18))))
+  in
+  let prof =
+    Array.init 2 (fun i ->
+        let s =
+          Array.init 3 (fun a ->
+              let x = payoffs.(((i * 5) + a + 11) mod 18) in
+              if x < 0.0 then 0.0 else x)
+        in
+        if Array.for_all (( = ) 0.0) s then s.(0) <- 1.0;
+        s)
+  in
+  (g, prof)
+
 (* {1 Nash} *)
 
 let test_pd_unique_pure_nash () =
@@ -336,6 +381,20 @@ let zero_sum_value_bounds_property =
         let lo = List.fold_left min infinity all and hi = List.fold_left max neg_infinity all in
         v >= lo -. 1e-6 && v <= hi +. 1e-6)
 
+(* The 2-player regret evaluator runs on the flat kernel; it must agree
+   with the all-Mixed reference {e bitwise} — same products, same
+   accumulation order — on sparse, uniform and pure profiles alike. *)
+let max_regret_kernel_agreement_property =
+  QCheck.Test.make ~count:200 ~name:"nash: max_regret = max_regret_naive (bitwise, flat kernel)"
+    QCheck.(array_of_size (Gen.return 18) (float_range (-4.0) 4.0))
+    (fun payoffs ->
+      let g, prof = two_player_case_of_draw payoffs in
+      let agree p = B.Nash.max_regret g p = B.Nash.max_regret_naive g p in
+      let ok = ref (agree prof && agree (B.Mixed.uniform_profile g)) in
+      B.Normal_form.iter_profiles g (fun p ->
+          if not (agree (B.Mixed.pure_profile g p)) then ok := false);
+      !ok)
+
 (* {1 Learning} *)
 
 let test_fictitious_play_mp () =
@@ -356,6 +415,45 @@ let test_fictitious_play_bos_converges_somewhere () =
   let trace = B.Learning.fictitious_play ~rounds:500 B.Games.battle_of_sexes in
   Alcotest.(check bool) "profile valid" true
     (Array.for_all B.Mixed.is_valid trace.B.Learning.profile)
+
+let trace_eq (a : B.Learning.trace) (b : B.Learning.trace) =
+  a.B.Learning.profile = b.B.Learning.profile
+  && a.B.Learning.rounds = b.B.Learning.rounds
+  && a.B.Learning.final_regret = b.B.Learning.final_regret
+
+(* The incremental dynamics must replay the naive references {e bitwise}:
+   cached expected utilities are only reused when the opponent mixtures are
+   bitwise-unchanged, so no trace field may drift. Covers the 2-player flat
+   fast path and the generic n-player path. *)
+let learning_incremental_agreement_property =
+  QCheck.Test.make ~count:50 ~name:"learning: incremental = naive references (bitwise traces)"
+    QCheck.(array_of_size (Gen.return 18) (float_range (-4.0) 4.0))
+    (fun payoffs ->
+      let g2, _ = two_player_case_of_draw payoffs in
+      let g3, _ = kernel_case_of_draw (Array.sub payoffs 0 12) in
+      List.for_all
+        (fun g ->
+          trace_eq
+            (B.Learning.fictitious_play ~rounds:60 g)
+            (B.Learning.fictitious_play_naive ~rounds:60 g)
+          && trace_eq
+               (B.Learning.replicator ~rounds:60 g)
+               (B.Learning.replicator_naive ~rounds:60 g))
+        [ g2; g3 ])
+
+let test_replicator_tol_early_stop () =
+  (* Uniform matching pennies is a replicator fixed point with zero regret:
+     with a tolerance the run must stop after the very first round. *)
+  let trace = B.Learning.replicator ~tol:1e-9 ~rounds:500 B.Games.matching_pennies in
+  Alcotest.(check int) "stops after round 1" 1 trace.B.Learning.rounds;
+  Alcotest.(check bool) "regret within tol" true (trace.B.Learning.final_regret <= 1e-9);
+  let full = B.Learning.replicator ~rounds:500 B.Games.matching_pennies in
+  Alcotest.(check int) "without tol the horizon is exhausted" 500 full.B.Learning.rounds
+
+let test_fictitious_play_tol_early_stop () =
+  let trace = B.Learning.fictitious_play ~tol:0.2 ~rounds:5000 B.Games.prisoners_dilemma in
+  Alcotest.(check bool) "stopped before the horizon" true (trace.B.Learning.rounds < 5000);
+  Alcotest.(check bool) "regret within tol" true (trace.B.Learning.final_regret <= 0.2)
 
 let suite =
   [
@@ -404,4 +502,10 @@ let suite =
     Alcotest.test_case "learning: replicator PD" `Slow test_replicator_pd;
     Alcotest.test_case "learning: best response iteration" `Quick test_best_response_iteration;
     Alcotest.test_case "learning: fictitious play BoS" `Quick test_fictitious_play_bos_converges_somewhere;
+    Alcotest.test_case "learning: replicator ?tol early stop" `Quick test_replicator_tol_early_stop;
+    Alcotest.test_case "learning: fictitious play ?tol early stop" `Quick
+      test_fictitious_play_tol_early_stop;
+    QCheck_alcotest.to_alcotest flat_table_matches_generator_property;
+    QCheck_alcotest.to_alcotest max_regret_kernel_agreement_property;
+    QCheck_alcotest.to_alcotest learning_incremental_agreement_property;
   ]

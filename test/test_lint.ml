@@ -67,6 +67,18 @@ let test_p002 () =
   check_rules "Pool is the site" [] (lint "lib/util/pool.ml" "let f g = Domain.spawn g\n");
   check_rules "Obs is the site" [] (lint "lib/obs/obs.ml" "let t = Atomic.make false\n")
 
+let test_p004 () =
+  check_rules "Bigarray value use flagged" [ "P004" ]
+    (lint "lib/robust/t.ml" "let f a = Bigarray.Array1.get a 0\n");
+  check_rules "Bigarray module alias flagged" [ "P004" ]
+    (lint "lib/dist_sim/t.ml" "module B = Bigarray\n");
+  check_rules "Normal_form is a kernel site" []
+    (lint "lib/game/normal_form.ml" "let f a = Bigarray.Array1.get a 0\n");
+  check_rules "Simplex is a kernel site" []
+    (lint "lib/lp/simplex.ml" "let f a = Bigarray.Array1.dim a\n");
+  check_rules "drivers may use Bigarray" []
+    (lint "bin/t.ml" "let f a = Bigarray.Array1.get a 0\n")
+
 let test_p003 () =
   check_rules "print_endline flagged in lib" [ "P003" ]
     (lint "lib/game/t.ml" "let f () = print_endline \"hi\"\n");
@@ -223,6 +235,7 @@ let suite =
     Alcotest.test_case "P001 top-level state" `Quick test_p001;
     Alcotest.test_case "P002 domain confinement" `Quick test_p002;
     Alcotest.test_case "P003 stdout discipline" `Quick test_p003;
+    Alcotest.test_case "P004 Bigarray confinement" `Quick test_p004;
     Alcotest.test_case "H002 shadowing opens" `Quick test_h002;
     Alcotest.test_case "E000 parse failure" `Quick test_e000;
     Alcotest.test_case "allow: suppresses with reason" `Quick test_allow_suppresses;

@@ -115,6 +115,56 @@ let optimality_property =
         done;
         !ok)
 
+(* {1 Revised vs dense agreement}
+
+   [solve] is the revised (sparse-column, basis-inverse) method and
+   [solve_dense] the original tableau; they follow the same pivoting rules,
+   so outcomes must match and optimal values agree to 1e-6. *)
+
+let agreeing problem =
+  match (S.solve problem, S.solve_dense problem) with
+  | S.Optimal { value = va; _ }, S.Optimal { value = vb; _ } -> Float.abs (va -. vb) <= 1e-6
+  | S.Infeasible, S.Infeasible | S.Unbounded, S.Unbounded -> true
+  | _ -> false
+
+let revised_dense_agreement_random_lps =
+  QCheck.Test.make ~count:200 ~name:"simplex: revised = dense on random mixed-relation LPs"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 5)
+           (triple
+              (array_of_size (Gen.return 3) (float_range (-5.0) 5.0))
+              (int_range 0 2) (float_range (-6.0) 6.0)))
+        (array_of_size (Gen.return 3) (float_range (-3.0) 3.0)))
+    (fun (rows, objective) ->
+      let constraints =
+        List.map
+          (fun (c, rel, b) -> match rel with 0 -> S.le c b | 1 -> S.ge c b | _ -> S.eq c b)
+          rows
+      in
+      agreeing { S.objective; constraints })
+
+let revised_dense_agreement_zero_sum =
+  (* The value LP of a random 3×3 zero-sum game (v free as v⁺ − v⁻):
+     always feasible and bounded, and heavy on Ge/Eq rows, so both phases
+     get exercised on every draw. *)
+  QCheck.Test.make ~count:100 ~name:"simplex: revised = dense on random zero-sum value LPs"
+    QCheck.(array_of_size (Gen.return 9) (float_range (-5.0) 5.0))
+    (fun a ->
+      let entry k j = a.((3 * k) + j) in
+      let constraints =
+        List.init 3 (fun j -> S.ge [| entry 0 j; entry 1 j; entry 2 j; -1.0; 1.0 |] 0.0)
+        @ [ S.eq [| 1.0; 1.0; 1.0; 0.0; 0.0 |] 1.0 ]
+      in
+      let problem = { S.objective = [| 0.0; 0.0; 0.0; 1.0; -1.0 |]; constraints } in
+      (match S.solve problem with S.Optimal _ -> true | _ -> false)
+      && agreeing problem)
+
+let test_dense_oracle_still_solves () =
+  match S.solve_dense { S.objective = [| 3.0; 2.0 |]; constraints = [ S.le [| 1.0; 1.0 |] 4.0; S.le [| 1.0; 0.0 |] 2.0 ] } with
+  | S.Optimal { value; _ } -> check_float "dense value" 10.0 value
+  | S.Infeasible | S.Unbounded -> Alcotest.fail "dense oracle failed"
+
 let suite =
   [
     Alcotest.test_case "basic <=" `Quick test_basic_le;
@@ -126,6 +176,9 @@ let suite =
     Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
     Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate_no_cycle;
     Alcotest.test_case "zero objective" `Quick test_zero_objective;
+    Alcotest.test_case "dense oracle" `Quick test_dense_oracle_still_solves;
     QCheck_alcotest.to_alcotest feasibility_property;
     QCheck_alcotest.to_alcotest optimality_property;
+    QCheck_alcotest.to_alcotest revised_dense_agreement_random_lps;
+    QCheck_alcotest.to_alcotest revised_dense_agreement_zero_sum;
   ]

@@ -65,8 +65,10 @@ let prop_parallel_sum =
 (* {1 Det counters: identical for any -j and across reruns} *)
 
 (* E1-E3 exercise Robust under parallel sweeps, the explorer config
-   exercises Sync_net + Faults + Explore; only counters classified Det
-   may appear with nonzero values in this comparison. *)
+   exercises Sync_net + Faults + Explore (now over the work-stealing map:
+   its steal counter is Volatile, so it must NOT surface here), and the
+   learning runs exercise the incremental-EU cache counters; only counters
+   classified Det may appear with nonzero values in this comparison. *)
 let det_workload ~jobs () =
   B.Obs.reset ();
   List.iter
@@ -77,6 +79,8 @@ let det_workload ~jobs () =
     [ "E1"; "E2"; "E3" ];
   let pool = B.Pool.create ~domains:jobs () in
   ignore (FS.explore_eig_n3t1 ~pool ~seed:42 ~trials:20 ());
+  ignore (B.Learning.replicator ~rounds:100 B.Games.matching_pennies);
+  ignore (B.Learning.fictitious_play ~rounds:100 B.Games.prisoners_dilemma);
   det_snapshot ()
 
 let test_det_jobs_invariant () =
@@ -84,7 +88,32 @@ let test_det_jobs_invariant () =
   let s4 = det_workload ~jobs:4 () in
   Alcotest.check snapshot_t "Det counters identical at jobs=1 and jobs=4" s1 s4;
   let s1' = det_workload ~jobs:1 () in
-  Alcotest.check snapshot_t "Det counters identical across reruns" s1 s1'
+  Alcotest.check snapshot_t "Det counters identical across reruns" s1 s1';
+  let get name s = try List.assoc name s with Not_found -> 0 in
+  Alcotest.(check bool) "incremental-EU recomputes surfaced as Det" true
+    (get "learning.eu_recomputes" s1 > 0);
+  Alcotest.(check bool) "incremental-EU skips surfaced as Det" true
+    (get "learning.eu_skips" s1 > 0)
+
+(* Stealing moves work between domains at the scheduler's whim, so the
+   pool.steals counter is Volatile by construction: it must stay out of
+   the Det snapshot (or the jobs-invariance above would be violated), while
+   still being observable on the volatile side. *)
+let test_steal_counter_volatile () =
+  B.Obs.reset ();
+  let pool = B.Pool.create ~domains:4 () in
+  let busy x =
+    let acc = ref x in
+    for i = 1 to if x = 0 then 100_000 else 10 do
+      acc := (!acc * 31) lxor i
+    done;
+    !acc
+  in
+  ignore (B.Pool.map_array_steal pool busy (Array.init 64 Fun.id));
+  Alcotest.(check bool) "pool.steals absent from Det snapshot" true
+    (not (List.mem_assoc "pool.steals" (det_snapshot ())));
+  Alcotest.(check bool) "pool.steals present in Volatile snapshot" true
+    (List.mem_assoc "pool.steals" (B.Obs.counters_snapshot ~kind:B.Obs.Volatile ()))
 
 (* Pinned golden snapshot for the fixed-seed explorer run (serial). A
    change here means either the explorer's behaviour changed (update
@@ -236,6 +265,7 @@ let suite =
       test_det_jobs_invariant;
     Alcotest.test_case "golden Det snapshot (fixed-seed explore)" `Quick
       test_golden_explore_snapshot;
+    Alcotest.test_case "pool.steals is Volatile" `Quick test_steal_counter_volatile;
     Alcotest.test_case "span nesting on a real workload" `Slow test_span_nesting_real_workload;
     Alcotest.test_case "tracing off records nothing" `Quick test_spans_off_by_default;
     QCheck_alcotest.to_alcotest prop_span_nesting;

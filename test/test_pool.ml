@@ -21,6 +21,22 @@ let pool_map_array_matches =
       let pool = B.Pool.create ~domains:d () in
       B.Pool.map_array pool f xs = Array.map f xs)
 
+let pool_map_array_steal_matches =
+  QCheck.Test.make ~count:50 ~name:"pool: map_array_steal = Array.map for d in 1..8"
+    QCheck.(pair (int_range 1 8) (array_of_size (Gen.int_range 0 200) small_int))
+    (fun (d, xs) ->
+      (* Skewed per-item cost so stealing actually happens at d > 1. *)
+      let f x =
+        let n = if x mod 7 = 0 then 5000 else 5 in
+        let acc = ref x in
+        for i = 1 to n do
+          acc := (!acc * 31) lxor i
+        done;
+        !acc
+      in
+      let pool = B.Pool.create ~domains:d () in
+      B.Pool.map_array_steal pool f xs = Array.map f xs)
+
 let pool_iter_grid_covers_all_slots =
   QCheck.Test.make ~count:50 ~name:"pool: iter_grid touches each index exactly once"
     QCheck.(pair (int_range 1 8) (int_range 0 300))
@@ -74,6 +90,7 @@ let suite =
     [
       pool_map_matches_list_map;
       pool_map_array_matches;
+      pool_map_array_steal_matches;
       pool_iter_grid_covers_all_slots;
       pool_find_first_matches_serial;
       split_reproducible;
