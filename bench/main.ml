@@ -276,6 +276,52 @@ let run_speedup_table () =
     ("robust/3-resilience-n8", "parallel", jobs, par_t);
   ]
 
+(* Wall-clock rows for the SoA engines at paper scale: one batched sweep
+   of 10^6 scrip agents and 10^6 routed queries over 10^6 Gnutella
+   users. The workload is identical under --quick — the CI regression
+   gate compares exactly these rows against the committed BENCH_8.json.
+   (bechamel's 0.25 s quota is too small for multi-hundred-ms runs, so
+   these are plain wall-clock measurements like the speedup table.) *)
+let run_soa_table () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let n = 1_000_000 in
+  let pool = B.Pool.create ~domains:jobs () in
+  let params = { (B.Scrip.default_params ~n) with B.Scrip.rounds = 0 } in
+  let t =
+    B.Scrip_soa.create ~shards:64 ~seed:42 ~params
+      ~kind_of:(fun _ -> B.Scrip.Standard 5)
+      ~money_per_agent:2.5 ()
+  in
+  B.Scrip_soa.step ~pool t;
+  let steps = 3 in
+  let scrip_t = wall (fun () -> for _ = 1 to steps do B.Scrip_soa.step ~pool t done) /. float_of_int steps in
+  let gp = { (B.Gnutella.default_params ~users:n) with B.Gnutella.queries = n } in
+  let gnut_t = wall (fun () -> ignore (B.Gnutella_soa.simulate ~jobs ~shards:64 (B.Prng.create 7) gp)) in
+  let tab =
+    B.Tab.create ~title:"SoA engines at n = 10^6" [ "kernel"; "wall"; "throughput" ]
+  in
+  B.Tab.add_row tab
+    [
+      "scrip/soa-1e6-step";
+      Printf.sprintf "%.1f ms" (scrip_t *. 1e3);
+      Printf.sprintf "%.1f M agent-requests/s" (float_of_int n /. scrip_t /. 1e6);
+    ];
+  B.Tab.add_row tab
+    [
+      "p2p/gnutella-1e6-step";
+      Printf.sprintf "%.1f ms" (gnut_t *. 1e3);
+      Printf.sprintf "%.1f M queries/s" (float_of_int n /. gnut_t /. 1e6);
+    ];
+  B.Tab.print tab;
+  [
+    ("scrip/soa-1e6-step", (if jobs = 1 then "serial" else "parallel"), jobs, scrip_t);
+    ("p2p/gnutella-1e6-step", (if jobs = 1 then "serial" else "parallel"), jobs, gnut_t);
+  ]
+
 (* Wall-clock for the full-tree lint pass, so BENCH json tracks how much
    the determinism gate costs as the tree grows. Lint is serial by
    design (one pass, deterministic report order), hence a single row. *)
@@ -341,6 +387,6 @@ let write_json file ~wall ~micro =
 
 let () =
   if not quick then experiments ();
-  let wall = run_speedup_table () @ run_lint_table () in
+  let wall = run_speedup_table () @ run_soa_table () @ run_lint_table () in
   let micro = run_microbenches () in
   Option.iter (fun file -> write_json file ~wall ~micro) json_file

@@ -10,7 +10,7 @@ let list_cmd =
       (fun (name, title, _) -> Printf.printf "%-4s %s\n" name title)
       Bn_experiments.Experiments.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the experiments (E1-E12).") Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments (E1-E17).") Term.(const run $ const ())
 
 let jobs_arg =
   Arg.(
@@ -191,6 +191,26 @@ let mediator_sweep_arg =
            the possibility side, a shrunk replayable counterexample on the \
            impossibility side.")
 
+let e17_arg =
+  Arg.(
+    value & flag
+    & info [ "e17" ]
+        ~doc:
+          "Run the million-agent SoA sweep (experiment E17): scrip steady-state \
+           goodness of fit, the mixed hoarder/altruist population, Gnutella free \
+           riding at scale, and the best-response cutoff ladder. Combine with \
+           --scrip-n to raise the population ceiling.")
+
+let scrip_n_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scrip-n" ] ~docv:"N"
+        ~doc:
+          "With --e17, the largest population size to run (default 100000; the \
+           paper-scale run uses 1000000). Ladder sizes are the powers of ten up to \
+           $(docv).")
+
 let sweep_json_arg =
   Arg.(
     value
@@ -201,9 +221,9 @@ let sweep_json_arg =
            (schema mediator-sweep/1) to $(docv).")
 
 let default_term =
-  let run explore faults seed quick mediator sweep_json jobs obs =
-    match (explore, faults, mediator) with
-    | None, false, None -> `Help (`Pager, None)
+  let run explore faults seed quick mediator sweep_json e17 scrip_n jobs obs =
+    match (explore, faults, mediator, e17) with
+    | None, false, None, false -> `Help (`Pager, None)
     | _ ->
       with_obs obs (fun () ->
           if faults then Bn_experiments.Fault_sweep.demo ~seed ();
@@ -221,12 +241,14 @@ let default_term =
                   Printf.eprintf "wrote %s\n%!" file)
                 sweep_json)
             mediator;
+          if e17 then
+            Bn_experiments.Scrip_sweep.render ~jobs ?n_max:scrip_n ~seed ();
           `Ok ())
   in
   Term.(
     ret
       (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ mediator_sweep_arg
-     $ sweep_json_arg $ jobs_arg $ obs_args))
+     $ sweep_json_arg $ e17_arg $ scrip_n_arg $ jobs_arg $ obs_args))
 
 let main =
   let doc = "Reproduction of Halpern's `Beyond Nash Equilibrium' (PODC 2008)." in

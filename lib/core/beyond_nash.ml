@@ -85,6 +85,10 @@ module Aware_examples = Bn_awareness.Aware_examples
 
 (* §5 applications *)
 module Scrip = Bn_scrip.Scrip
+module Scrip_soa = Bn_scrip.Scrip_soa
+module Steady_state = Bn_scrip.Steady_state
 module Gnutella = Bn_p2p.Gnutella
+module Gnutella_soa = Bn_p2p.Gnutella_soa
+module Soa = Bn_agents.Soa
 
 module Solution = Solution

@@ -1,7 +1,7 @@
 (** Registry of the paper-reproduction experiments E1–E12 and the extension
-    experiments E13–E16 (correlated-equilibrium mediator value, rational
-    secret sharing, asynchronous scheduling, and the asynchronous-mediator
-    regime sweep).
+    experiments E13–E17 (correlated-equilibrium mediator value, rational
+    secret sharing, asynchronous scheduling, the asynchronous-mediator
+    regime sweep, and the million-agent SoA scrip/free-riding runs).
 
     Each entry regenerates one table/claim of Halpern (PODC 2008); the
     mapping to paper sections is in DESIGN.md §4 and the measured outcomes
@@ -38,6 +38,7 @@ let all : entry list =
     (Exp_e14.name, Exp_e14.title, Exp_e14.run);
     (Exp_e15.name, Exp_e15.title, Exp_e15.run);
     (Exp_e16.name, Exp_e16.title, Exp_e16.run);
+    (Exp_e17.name, Exp_e17.title, Exp_e17.run);
   ]
 
 let find id = List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = String.lowercase_ascii id) all

@@ -1,5 +1,5 @@
 (** Registry of the paper-reproduction experiments E1–E12 and the extension
-    experiments E13–E16.
+    experiments E13–E17.
 
     Each entry regenerates one table/claim of Halpern (PODC 2008); the
     mapping to paper sections is in DESIGN.md §4 and the measured outcomes
@@ -14,7 +14,7 @@ type entry = string * string * (?jobs:int -> unit -> unit)
 (** [(name, title, run)]. *)
 
 val all : entry list
-(** In registry (paper) order: E1 … E16. *)
+(** In registry (paper) order: E1 … E17. *)
 
 val find : string -> entry option
 (** Case-insensitive lookup by name. *)

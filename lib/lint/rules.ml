@@ -19,7 +19,11 @@ let out_site f = f = "lib/util/out.ml"
 let bigarray_site f =
   List.mem f
     [ "lib/game/normal_form.ml"; "lib/game/normal_form.mli"; "lib/game/nash.ml";
-      "lib/game/learning.ml"; "lib/lp/simplex.ml" ]
+      "lib/game/learning.ml"; "lib/lp/simplex.ml";
+      (* The struct-of-arrays agent store and the simulator kernels built
+         directly on its columns (PR 8). *)
+      "lib/agents/soa.ml"; "lib/agents/soa.mli"; "lib/scrip/scrip_soa.ml";
+      "lib/p2p/gnutella_soa.ml" ]
 
 (* {1 Longident helpers} *)
 
@@ -79,7 +83,8 @@ let check_ident ~file lid loc =
   | "Bigarray" :: _ when is_lib file && not (bigarray_site file) ->
     f "P004"
       (Printf.sprintf "%s outside the flat numeric kernels — Bigarray storage is confined to \
-                       Normal_form/Nash/Learning/Simplex"
+                       the flat kernels (Normal_form/Nash/Learning/Simplex/Soa and the SoA \
+                       simulators)"
          (String.concat "." (flatten lid)))
   | [ p ] when List.mem p stdout_printers && is_lib file && not (out_site file) ->
     f "P003" (Printf.sprintf "direct %s in lib/: render through Bn_util.Out sinks" p)
@@ -102,7 +107,8 @@ let check_module_ident ~file lid loc =
     f "P002" "module Domain/Atomic outside Bn_util.Pool / Bn_obs.Obs"
   | "Bigarray" :: _ when is_lib file && not (bigarray_site file) ->
     f "P004"
-      "module Bigarray outside the flat numeric kernels (Normal_form/Nash/Learning/Simplex)"
+      "module Bigarray outside the flat numeric kernels (Normal_form/Nash/Learning/Simplex/Soa \
+       and the SoA simulators)"
   | _ -> None
 
 let check_open ~file lid loc =

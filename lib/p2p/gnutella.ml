@@ -22,6 +22,33 @@ let zipf_sample rng ~scale ~exponent =
   let u = 1.0 -. Bn_util.Prng.float rng in
   scale /. (u ** (1.0 /. exponent))
 
+(* Load-concentration statistics from the raw serve counts: shared by
+   the boxed simulation below and the SoA engine ([Gnutella_soa]), which
+   is QCheck-pinned to produce identical stats at shards = 1 — so this
+   must stay a pure function of (users, sharers, served). *)
+let stats_of_load ~users ~sharers ~served =
+  let total_served = Array.fold_left ( + ) 0 served in
+  let sorted = Array.copy served in
+  Array.sort (fun a b -> compare b a) sorted;
+  let top_share pct =
+    if total_served = 0 then 0.0
+    else begin
+      let k = max 1 (users * pct / 100) in
+      let top = ref 0 in
+      for i = 0 to k - 1 do
+        top := !top + sorted.(i)
+      done;
+      float_of_int !top /. float_of_int total_served
+    end
+  in
+  {
+    sharers;
+    free_rider_fraction = 1.0 -. (float_of_int sharers /. float_of_int users);
+    top1_response_share = top_share 1;
+    top10_response_share = top_share 10;
+    gini_load = Bn_util.Stats.gini (List.map float_of_int (Array.to_list served));
+  }
+
 let simulate rng params =
   let { users; cost; kick_scale; zipf_exponent; queries } = params in
   if users < 10 then invalid_arg "Gnutella.simulate: need at least 10 users";
@@ -50,27 +77,7 @@ let simulate rng params =
       served.(host) <- served.(host) + 1
     done;
   let sharers = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 shares in
-  let total_served = Array.fold_left ( + ) 0 served in
-  let sorted = Array.copy served in
-  Array.sort (fun a b -> compare b a) sorted;
-  let top_share pct =
-    if total_served = 0 then 0.0
-    else begin
-      let k = max 1 (users * pct / 100) in
-      let top = ref 0 in
-      for i = 0 to k - 1 do
-        top := !top + sorted.(i)
-      done;
-      float_of_int !top /. float_of_int total_served
-    end
-  in
-  {
-    sharers;
-    free_rider_fraction = 1.0 -. (float_of_int sharers /. float_of_int users);
-    top1_response_share = top_share 1;
-    top10_response_share = top_share 10;
-    gini_load = Bn_util.Stats.gini (List.map float_of_int (Array.to_list served));
-  }
+  stats_of_load ~users ~sharers ~served
 
 let sharing_game ~n ~cost ~kicks ~download_value =
   if Array.length kicks <> n then invalid_arg "Gnutella.sharing_game: kicks arity";

@@ -31,10 +31,26 @@ type stats = {
   gini_load : float;  (** Inequality of the serving load. *)
 }
 
+val zipf_sample : Bn_util.Prng.t -> scale:float -> exponent:float -> float
+(** One heavy-tailed kick: [scale / u^(1/exponent)] for uniform [u].
+    Exposed so {!Gnutella_soa} draws bitwise-identical kicks. *)
+
+val stats_of_load : users:int -> sharers:int -> served:int array -> stats
+(** Load-concentration statistics (top-1% / top-10% response share, Gini)
+    from raw per-host serve counts — the common back end of {!simulate}
+    and {!Gnutella_soa.simulate}, kept separate so the two engines
+    produce structurally identical [stats] from identical loads. *)
+
 val simulate : Bn_util.Prng.t -> params -> stats
 (** User [i] draws kick [k_i]; shares iff [k_i > cost]; sharers hold a
     Zipf-sized library and serve queries with probability proportional to
-    library size. *)
+    library size.
+
+    The boxed loop routes each query with an O(users) linear scan —
+    fine up to users ≈ 10³. For large populations use
+    {!Gnutella_soa.simulate}: identical stats at [shards = 1]
+    (QCheck-pinned), O(log users) routing, and sharded deterministic
+    parallelism. *)
 
 val sharing_game :
   n:int -> cost:float -> kicks:float array -> download_value:float ->

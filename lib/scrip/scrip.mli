@@ -38,7 +38,21 @@ type stats = {
 
 val simulate :
   Bn_util.Prng.t -> params -> kinds:kind array -> money_per_agent:float -> stats
-(** Initial scrip: [floor (money_per_agent · n)] units dealt round-robin. *)
+(** Initial scrip: [floor (money_per_agent · n)] units dealt round-robin.
+
+    This is the fast sequential path: agent state in struct-of-arrays
+    columns ({!Bn_agents.Soa}) and the willing set in a Fenwick tree, so
+    each round costs O(log n) instead of the O(n) willing-list rebuild.
+    Bitwise-equal to {!simulate_naive} — identical [stats] record for
+    every seed (QCheck-pinned). For n ≳ 10⁵ and the batched sharded step
+    loop (deterministic at any [?jobs]), use {!Scrip_soa}; its analytic
+    verification layer is {!Steady_state}. *)
+
+val simulate_naive :
+  Bn_util.Prng.t -> params -> kinds:kind array -> money_per_agent:float -> stats
+(** The original boxed per-agent loop (O(n) per round), retained as the
+    bitwise oracle for {!simulate} — the same role [Simplex.solve_dense]
+    plays for the revised simplex. *)
 
 val efficiency : params -> stats -> float
 (** Realized fraction of the social optimum: served requests ÷ total

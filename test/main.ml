@@ -18,6 +18,8 @@ let () =
       ("repeated", Test_repeated.suite);
       ("awareness", Test_awareness.suite);
       ("scrip-p2p", Test_scrip_p2p.suite);
+      ("soa", Test_soa.suite);
+      ("steady-state", Test_steady_state.suite);
       ("solution", Test_solution.suite);
       ("correlated", Test_correlated.suite);
       ("rational-ss", Test_rational_ss.suite);

@@ -3,7 +3,8 @@
    This is the contract that lets run_all parallelize paper tables without
    ever silently reordering or perturbing them. E1 exercises the parallel
    coalition enumeration in Robust, E5 the split-stream (n,k,t) grid
-   sweep, and E13 the Monte Carlo loop over Pool.iter_grid. *)
+   sweep, E13 the Monte Carlo loop over Pool.iter_grid, and E17 the
+   sharded SoA engines (batched cross-shard exchange + split streams). *)
 
 let render ~jobs id =
   match Bn_experiments.Experiments.render ~jobs id with
@@ -32,5 +33,6 @@ let suite =
     Alcotest.test_case "E1 golden: jobs=1 = jobs=4" `Slow (check_jobs_invariant "E1");
     Alcotest.test_case "E5 golden: jobs=1 = jobs=4" `Slow (check_jobs_invariant "E5");
     Alcotest.test_case "E13 golden: jobs=1 = jobs=4" `Slow (check_jobs_invariant "E13");
+    Alcotest.test_case "E17 golden: jobs=1 = jobs=4" `Slow (check_jobs_invariant "E17");
     Alcotest.test_case "render banner" `Quick check_render_matches_run_all;
   ]

@@ -20,8 +20,8 @@ let smoke ((name, _title, run) : Bn_experiments.Experiments.entry) =
 
 let test_registry_ids () =
   let ids = List.map (fun (n, _, _) -> n) Bn_experiments.Experiments.all in
-  Alcotest.(check int) "16 experiments" 16 (List.length ids);
-  Alcotest.(check int) "ids unique" 16 (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "17 experiments" 17 (List.length ids);
+  Alcotest.(check int) "ids unique" 17 (List.length (List.sort_uniq compare ids));
   Alcotest.(check bool) "find is case-insensitive" true
     (Bn_experiments.Experiments.find "e3" <> None);
   Alcotest.(check bool) "unknown id" true (Bn_experiments.Experiments.find "E99" = None)

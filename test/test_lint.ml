@@ -76,6 +76,13 @@ let test_p004 () =
     (lint "lib/game/normal_form.ml" "let f a = Bigarray.Array1.get a 0\n");
   check_rules "Simplex is a kernel site" []
     (lint "lib/lp/simplex.ml" "let f a = Bigarray.Array1.dim a\n");
+  check_rules "SoA store is a kernel site" []
+    (lint "lib/agents/soa.ml" "let f a = Bigarray.Array1.get a 0\n");
+  check_rules "SoA simulator kernels are kernel sites" []
+    (lint "lib/scrip/scrip_soa.ml" "let f a = Bigarray.Array1.get a 0\n"
+     @ lint "lib/p2p/gnutella_soa.ml" "let f a = Bigarray.Array1.dim a\n");
+  check_rules "experiments must go through the Soa API" [ "P004" ]
+    (lint "lib/experiments/t.ml" "let f a = Bigarray.Array1.get a 0\n");
   check_rules "drivers may use Bigarray" []
     (lint "bin/t.ml" "let f a = Bigarray.Array1.get a 0\n")
 

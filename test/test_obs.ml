@@ -95,6 +95,37 @@ let test_det_jobs_invariant () =
   Alcotest.(check bool) "incremental-EU skips surfaced as Det" true
     (get "learning.eu_skips" s1 > 0)
 
+(* The SoA engines count steps, requests, satisfactions, flushes and
+   cross-shard events as Det: the batched exchange makes all of them pure
+   functions of (seed, shards, steps), never of the domain budget. *)
+let soa_workload ~jobs () =
+  B.Obs.reset ();
+  let params = { (B.Scrip.default_params ~n:2_000) with B.Scrip.rounds = 0 } in
+  ignore
+    (B.Scrip_soa.run ~jobs ~shards:16 ~seed:42 ~steps:30 ~params
+       ~kind_of:(fun i -> if i mod 9 = 0 then B.Scrip.Hoarder else B.Scrip.Standard 5)
+       ~money_per_agent:2.0 ());
+  ignore
+    (B.Gnutella_soa.simulate ~jobs ~shards:16 (B.Prng.create 42)
+       (B.Gnutella.default_params ~users:2_000));
+  det_snapshot ()
+
+let test_soa_det_counters () =
+  let s1 = soa_workload ~jobs:1 () in
+  let s4 = soa_workload ~jobs:4 () in
+  Alcotest.check snapshot_t "SoA Det counters identical at jobs=1 and jobs=4" s1 s4;
+  let s1' = soa_workload ~jobs:1 () in
+  Alcotest.check snapshot_t "SoA Det counters identical across reruns" s1 s1';
+  let get name = try List.assoc name s1 with Not_found -> 0 in
+  Alcotest.(check int) "scrip_soa.steps" 30 (get "scrip_soa.steps");
+  Alcotest.(check int) "scrip_soa.flushes" 30 (get "scrip_soa.flushes");
+  Alcotest.(check bool) "scrip_soa.requests ticked" true (get "scrip_soa.requests" > 0);
+  Alcotest.(check bool) "scrip_soa cross-shard events ticked" true
+    (get "scrip_soa.cross_shard_events" > 0);
+  Alcotest.(check int) "gnutella_soa.queries" 100_000 (get "gnutella_soa.queries");
+  Alcotest.(check bool) "gnutella_soa cross-shard events ticked" true
+    (get "gnutella_soa.cross_shard_events" > 0)
+
 (* Stealing moves work between domains at the scheduler's whim, so the
    pool.steals counter is Volatile by construction: it must stay out of
    the Det snapshot (or the jobs-invariance above would be violated), while
@@ -265,6 +296,8 @@ let suite =
       test_det_jobs_invariant;
     Alcotest.test_case "golden Det snapshot (fixed-seed explore)" `Quick
       test_golden_explore_snapshot;
+    Alcotest.test_case "Det counters: SoA engines (jobs + rerun invariant)" `Slow
+      test_soa_det_counters;
     Alcotest.test_case "pool.steals is Volatile" `Quick test_steal_counter_volatile;
     Alcotest.test_case "span nesting on a real workload" `Slow test_span_nesting_real_workload;
     Alcotest.test_case "tracing off records nothing" `Quick test_spans_off_by_default;

@@ -83,6 +83,71 @@ let scrip_utility_sign_property =
       let total = Array.fold_left ( +. ) 0.0 st.S.utilities in
       total >= 0.0)
 
+(* {1 Scrip: SoA engine vs oracles} *)
+
+let arb_kinds =
+  (* Mixed populations over all three kinds, with varied thresholds. *)
+  QCheck.(
+    list_of_size
+      Gen.(int_range 4 40)
+      (oneof
+         [
+           map (fun k -> S.Standard k) (int_range 1 8);
+           always S.Hoarder;
+           always S.Altruist;
+         ]))
+
+let scrip_fast_vs_naive_property =
+  QCheck.Test.make ~count:40 ~name:"scrip: Fenwick simulate bitwise-equal to naive oracle"
+    QCheck.(pair (int_range 1 1000) arb_kinds)
+    (fun (seed, kinds_l) ->
+      let kinds = Array.of_list kinds_l in
+      let n = Array.length kinds in
+      let run sim = sim (B.Prng.create seed) (params n) ~kinds ~money_per_agent:1.5 in
+      run S.simulate = run S.simulate_naive)
+
+let soa_conservation_property =
+  QCheck.Test.make ~count:15 ~name:"scrip soa: accounting and conservation invariants"
+    QCheck.(triple (int_range 1 500) (int_range 20 200) (int_range 1 8))
+    (fun (seed, n, shards) ->
+      let p = { (params n) with S.rounds = 0 } in
+      let st =
+        B.Scrip_soa.run ~jobs:2 ~shards ~seed ~steps:20 ~params:p
+          ~kind_of:(fun i -> if i mod 7 = 0 then S.Hoarder else S.Standard 5)
+          ~money_per_agent:2.0 ()
+      in
+      let open B.Scrip_soa in
+      st.requests = st.satisfied + st.starved + st.unserved
+      && st.total_scrip = int_of_float (2.0 *. float_of_int n)
+      && Array.fold_left ( + ) 0 st.dist = n
+      && st.flushes = 20
+      && st.cross_shard <= st.requests)
+
+let soa_jobs_invariant_property =
+  QCheck.Test.make ~count:10 ~name:"scrip soa: jobs=1 and jobs=4 give identical stats"
+    QCheck.(pair (int_range 1 500) (int_range 50 300))
+    (fun (seed, n) ->
+      let p = { (params n) with S.rounds = 0 } in
+      let run jobs =
+        B.Scrip_soa.run ~jobs ~shards:8 ~seed ~steps:25 ~params:p
+          ~kind_of:(fun i -> if i mod 11 = 0 then S.Altruist else S.Standard 4)
+          ~money_per_agent:1.5 ()
+      in
+      run 1 = run 4)
+
+let test_soa_altruists_inject_scrip () =
+  (* Altruists serve without taking payment, so total scrip is conserved
+     while service keeps flowing even when standard agents are broke. *)
+  let n = 100 in
+  let p = { (params n) with S.rounds = 0 } in
+  let st =
+    B.Scrip_soa.run ~shards:8 ~seed:5 ~steps:50 ~params:p
+      ~kind_of:(fun i -> if i mod 2 = 0 then S.Altruist else S.Standard 5)
+      ~money_per_agent:1.0 ()
+  in
+  Alcotest.(check int) "scrip conserved" 100 st.B.Scrip_soa.total_scrip;
+  Alcotest.(check bool) "altruists served" true (st.B.Scrip_soa.satisfied > 0)
+
 (* {1 Gnutella} *)
 
 let test_free_riding_shape () =
@@ -133,6 +198,35 @@ let gnutella_fraction_bounds_property =
       && s.G.top1_response_share <= 1.0
       && s.G.top10_response_share >= s.G.top1_response_share -. 1e-9)
 
+(* {1 Gnutella: SoA engine} *)
+
+let gnutella_soa_bitwise_property =
+  (* At shards = 1 the SoA engine replays the legacy draw sequence
+     exactly: same stats record for every seed and size. *)
+  QCheck.Test.make ~count:30 ~name:"gnutella soa: shards=1 bitwise-equal to legacy simulate"
+    QCheck.(pair (int_range 1 1000) (int_range 10 800))
+    (fun (seed, users) ->
+      let p = G.default_params ~users in
+      G.simulate (B.Prng.create seed) p
+      = B.Gnutella_soa.simulate ~shards:1 (B.Prng.create seed) p)
+
+let gnutella_soa_jobs_invariant_property =
+  QCheck.Test.make ~count:10 ~name:"gnutella soa: sharded run identical at jobs=1 and jobs=4"
+    QCheck.(pair (int_range 1 500) (int_range 100 2000))
+    (fun (seed, users) ->
+      let p = G.default_params ~users in
+      let run jobs = B.Gnutella_soa.simulate ~jobs ~shards:16 (B.Prng.create seed) p in
+      run 1 = run 4)
+
+let test_gnutella_soa_sharded_shape () =
+  (* The sharded (split-stream) run samples the same population model:
+     the free-riding shape survives resharding. *)
+  let p = G.default_params ~users:2000 in
+  let s = B.Gnutella_soa.simulate ~jobs:2 ~shards:16 (B.Prng.create 8) p in
+  Alcotest.(check bool) "~70% free riders" true
+    (s.G.free_rider_fraction > 0.55 && s.G.free_rider_fraction < 0.85);
+  Alcotest.(check bool) "load is concentrated" true (s.G.gini_load > 0.8)
+
 let suite =
   [
     Alcotest.test_case "scrip: money conserved" `Quick test_money_conserved;
@@ -143,10 +237,17 @@ let suite =
     Alcotest.test_case "scrip: accounting" `Quick test_stats_accounting;
     Alcotest.test_case "scrip: best threshold" `Slow test_best_threshold_moderate;
     QCheck_alcotest.to_alcotest scrip_utility_sign_property;
+    QCheck_alcotest.to_alcotest scrip_fast_vs_naive_property;
+    QCheck_alcotest.to_alcotest soa_conservation_property;
+    QCheck_alcotest.to_alcotest soa_jobs_invariant_property;
+    Alcotest.test_case "scrip soa: altruists" `Quick test_soa_altruists_inject_scrip;
     Alcotest.test_case "gnutella: free-riding shape" `Quick test_free_riding_shape;
     Alcotest.test_case "gnutella: cost effect" `Quick test_cost_increases_free_riding;
     Alcotest.test_case "gnutella: dominance" `Quick test_sharing_game_dominance;
     Alcotest.test_case "gnutella: kicks" `Quick test_sharing_game_with_kicks;
     Alcotest.test_case "gnutella: Nash" `Quick test_sharing_game_is_nash;
     QCheck_alcotest.to_alcotest gnutella_fraction_bounds_property;
+    QCheck_alcotest.to_alcotest gnutella_soa_bitwise_property;
+    QCheck_alcotest.to_alcotest gnutella_soa_jobs_invariant_property;
+    Alcotest.test_case "gnutella soa: sharded shape" `Slow test_gnutella_soa_sharded_shape;
   ]
