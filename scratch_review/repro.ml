@@ -1,0 +1,5 @@
+module B = Beyond_nash
+let () =
+  let params = { (B.Gnutella.default_params ~users:1000) with B.Gnutella.queries = 10 } in
+  let st = B.Gnutella_soa.simulate ~jobs:1 ~shards:64 (B.Prng.create 1) params in
+  Printf.printf "ok sharers=%d\n" st.B.Gnutella.sharers
