@@ -210,8 +210,44 @@ let microbenches =
       bench_mediator_sweep;
     ]
 
-(* Runs the suite, prints the table and returns [(name, ns_per_run)] rows
-   (only rows with a usable OLS estimate) for the JSON dump. *)
+(* Per-sample ns/run distribution for one benchmark: each of bechamel's
+   raw measurements divided by its run count. Gives the run count and
+   the spread (p50/p99/stddev) that the OLS point estimate hides. *)
+let sample_stats raw name =
+  match Hashtbl.find_opt raw name with
+  | None -> None
+  | Some (b : Benchmark.t) -> (
+    let label = Measure.label Instance.monotonic_clock in
+    let samples =
+      List.filter_map
+        (fun m ->
+          let r = Measurement_raw.run m in
+          if r > 0.0 then Some (Measurement_raw.get ~label m /. r) else None)
+        (Array.to_list b.lr)
+    in
+    match List.sort compare samples with
+    | [] -> None
+    | sorted ->
+      let n = List.length sorted in
+      let arr = Array.of_list sorted in
+      let pct q =
+        arr.(max 0 (min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+      in
+      let mean = List.fold_left ( +. ) 0.0 sorted /. float_of_int n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) *. (x -. mean))) 0.0 sorted
+        /. float_of_int n
+      in
+      Some (b.stats.samples, pct 0.5, pct 0.99, sqrt var))
+
+let pp_ns est =
+  if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+  else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+  else Printf.sprintf "%.1f ns" est
+
+(* Runs the suite, prints the table and returns
+   [(name, ns_per_run, (runs, p50, p99, stddev) option)] rows (only rows
+   with a usable OLS estimate) for the JSON dump. *)
 let run_microbenches () =
   print_endline "######## microbenchmarks (bechamel; time per run) ########\n";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -221,23 +257,26 @@ let run_microbenches () =
   let raw = Benchmark.all cfg instances microbenches in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = B.Tbl.sorted_bindings results in
-  let tab = B.Tab.create ~title:"core kernels" [ "benchmark"; "time/run" ] in
+  let tab =
+    B.Tab.create ~title:"core kernels" [ "benchmark"; "time/run"; "runs"; "p50"; "p99" ]
+  in
   let estimates =
     List.filter_map
       (fun (name, ols) ->
         let est =
           match Analyze.OLS.estimates ols with Some [ est ] -> Some est | Some _ | None -> None
         in
-        let cell =
-          match est with
-          | Some est ->
-            if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
-            else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
-            else Printf.sprintf "%.1f ns" est
-          | None -> "n/a"
-        in
-        B.Tab.add_row tab [ name; cell ];
-        Option.map (fun est -> (name, est)) est)
+        let stats = sample_stats raw name in
+        let cell = match est with Some est -> pp_ns est | None -> "n/a" in
+        let scell f = match stats with Some s -> f s | None -> "n/a" in
+        B.Tab.add_row tab
+          [
+            name; cell;
+            scell (fun (runs, _, _, _) -> string_of_int runs);
+            scell (fun (_, p50, _, _) -> pp_ns p50);
+            scell (fun (_, _, p99, _) -> pp_ns p99);
+          ];
+        Option.map (fun est -> (name, est, stats)) est)
       rows
   in
   B.Tab.print tab;
@@ -363,13 +402,20 @@ let write_json file ~wall ~micro =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"beyond-nash-bench/1\",\n";
+  p "  \"schema\": \"beyond-nash-bench/2\",\n";
   p "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
   p "  \"jobs\": %d,\n" jobs;
   p "  \"microbench\": [\n";
   List.iteri
-    (fun i (name, ns) ->
-      p "    { \"name\": \"%s\", \"ns_per_run\": %.3f }%s\n" (json_escape name) ns
+    (fun i (name, ns, stats) ->
+      let spread =
+        match stats with
+        | Some (runs, p50, p99, stddev) ->
+          Printf.sprintf ", \"runs\": %d, \"p50_ns\": %.3f, \"p99_ns\": %.3f, \"stddev_ns\": %.3f"
+            runs p50 p99 stddev
+        | None -> ""
+      in
+      p "    { \"name\": \"%s\", \"ns_per_run\": %.3f%s }%s\n" (json_escape name) ns spread
         (if i = List.length micro - 1 then "" else ","))
     micro;
   p "  ],\n";

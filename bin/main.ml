@@ -57,12 +57,36 @@ let obs_args =
       & info [ "progress" ]
           ~doc:"Print one stderr line per completed experiment (name, wall ms, span count).")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a span-tree profile after the run: calls, inclusive and exclusive \
+             (self) wall ms per span path, plus per-region GC deltas (allocated words, \
+             major/minor collections).")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write a collapsed-stack profile (one `a;b;c microseconds' line per span \
+             path) to $(docv) — pipe through flamegraph.pl for an SVG flame graph.")
+  in
   Term.(
-    const (fun trace metrics summary progress -> (trace, metrics, summary, progress))
-    $ trace $ metrics $ summary $ progress)
+    const (fun trace metrics summary progress profile folded ->
+        (trace, metrics, summary, progress, profile, folded))
+    $ trace $ metrics $ summary $ progress $ profile $ folded)
 
-let with_obs (trace, metrics, summary, progress) f =
-  if trace <> None || summary then B.Obs.set_tracing true;
+let with_obs (trace, metrics, summary, progress, profile, folded) f =
+  if trace <> None || summary || profile || folded <> None then B.Obs.set_tracing true;
+  (* Wall-clock sketches piggyback on any observability request; with no
+     flags they stay off so the uninstrumented CLI keeps its speed. *)
+  if trace <> None || metrics <> None || summary || profile || folded <> None then
+    B.Obs.set_timing true;
+  if profile then B.Obs.set_gc_probes true;
   B.Obs.set_progress progress;
   let r = f () in
   let write file contents =
@@ -73,7 +97,9 @@ let with_obs (trace, metrics, summary, progress) f =
   in
   Option.iter (fun file -> write file (B.Obs.Export.chrome_trace ())) trace;
   Option.iter (fun file -> write file (B.Obs.Export.metrics_json ())) metrics;
+  Option.iter (fun file -> write file (B.Obs.Profile.folded ())) folded;
   if summary then print_string (B.Obs.summary ());
+  if profile then print_string (B.Obs.Profile.table ());
   r
 
 let exp_cmd =
@@ -220,12 +246,21 @@ let sweep_json_arg =
           "With --mediator-sweep, also write the sweep as a JSON artifact \
            (schema mediator-sweep/1) to $(docv).")
 
+let all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:
+          "Run every experiment (E1-E17), like the `all' subcommand; as a top-level \
+           flag so it combines with --profile/--folded/--metrics in one invocation.")
+
 let default_term =
-  let run explore faults seed quick mediator sweep_json e17 scrip_n jobs obs =
-    match (explore, faults, mediator, e17) with
-    | None, false, None, false -> `Help (`Pager, None)
+  let run all explore faults seed quick mediator sweep_json e17 scrip_n jobs obs =
+    match (all, explore, faults, mediator, e17) with
+    | false, None, false, None, false -> `Help (`Pager, None)
     | _ ->
       with_obs obs (fun () ->
+          if all then Bn_experiments.Experiments.run_all ~jobs ();
           if faults then Bn_experiments.Fault_sweep.demo ~seed ();
           Option.iter
             (fun trials -> Bn_experiments.Fault_sweep.render ~jobs ~quick ~trials ~seed ())
@@ -247,7 +282,7 @@ let default_term =
   in
   Term.(
     ret
-      (const run $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ mediator_sweep_arg
+      (const run $ all_arg $ explore_arg $ faults_arg $ seed_arg $ quick_arg $ mediator_sweep_arg
      $ sweep_json_arg $ e17_arg $ scrip_n_arg $ jobs_arg $ obs_args))
 
 let main =

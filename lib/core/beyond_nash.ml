@@ -18,6 +18,7 @@
 
 (* Utilities *)
 module Obs = Bn_obs.Obs
+module Obsdiff = Bn_obs.Obsdiff
 module Prng = Bn_util.Prng
 module Pool = Bn_util.Pool
 module Out = Bn_util.Out

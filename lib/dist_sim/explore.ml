@@ -22,6 +22,12 @@ let c_schedules = Obs.counter "explore.schedules"
 let c_violations = Obs.counter "explore.violations"
 let c_shrink_evals = Obs.counter "explore.shrink_evals"
 
+(* Per-violation shrink cost is a pure function of the workload (the
+   shrinker is deterministic), so its distribution is a Det sketch; the
+   per-trial wall time is scheduling-dependent and Volatile. *)
+let sk_shrink_evals = Obs.sketch ~kind:Obs.Det "explore.shrink_evals_per_violation"
+let sk_trial_ns = Obs.sketch ~kind:Obs.Volatile "explore.trial_ns"
+
 type 'r system = {
   run : Faults.schedule -> 'r;
       (** Execute the system under one fault schedule. Must be
@@ -106,6 +112,8 @@ let explore ?(pool = Bn_util.Pool.serial) ~seed ~trials ~gen sys =
         Obs.incr c_schedules;
         Obs.span "explore.trial" ~args:(fun () -> [ ("trial", Obs.I trial); ("seed", Obs.I seed) ])
         @@ fun () ->
+        Obs.timed sk_trial_ns
+        @@ fun () ->
         let rng = Bn_util.Prng.split base trial in
         let schedule = gen rng in
         match failures sys schedule with
@@ -113,6 +121,7 @@ let explore ?(pool = Bn_util.Pool.serial) ~seed ~trials ~gen sys =
         | failed ->
           Obs.incr c_violations;
           let shrunk, shrink_evals = shrink sys schedule in
+          Obs.observe_sk sk_shrink_evals shrink_evals;
           Some
             { trial; schedule; failed; shrunk; shrunk_failed = failures sys shrunk; shrink_evals })
       (Array.init trials Fun.id)

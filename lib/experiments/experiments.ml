@@ -43,14 +43,17 @@ let all : entry list =
 
 let find id = List.find_opt (fun (name, _, _) -> String.lowercase_ascii name = String.lowercase_ascii id) all
 
+let sk_render_ns = Obs.sketch ~kind:Obs.Volatile "exp.render_ns"
+
 let render_entry ~jobs ((name, title, run) : entry) =
   Obs.incr c_rendered;
   let t0 = Obs.now_us () and spans0 = Obs.span_count () in
   let transcript =
     Obs.span ("exp." ^ name) (fun () ->
-        Bn_util.Out.with_capture (fun () ->
-            Bn_util.Out.printf "######## %s: %s ########\n\n" name title;
-            run ~jobs ()))
+        Obs.timed sk_render_ns (fun () ->
+            Bn_util.Out.with_capture (fun () ->
+                Bn_util.Out.printf "######## %s: %s ########\n\n" name title;
+                run ~jobs ())))
   in
   (* --progress: one stderr line as each experiment completes, so long
      runs are not silent. stderr only (stdout stays byte-identical);

@@ -32,6 +32,8 @@ let registry =
       summary = "direct stdout printing in lib/ outside Bn_util.Out — rendering must go through Out sinks" };
     { id = "P004"; rule_severity = Error;
       summary = "Bigarray outside the flat numeric kernels (Normal_form, Nash, Learning, Simplex)" };
+    { id = "P005"; rule_severity = Error;
+      summary = "direct Gc access outside lib/obs — GC stats are nondeterministic; use the Obs GC probes" };
     { id = "H001"; rule_severity = Warning;
       summary = "lib/ module without an .mli interface" };
     { id = "H002"; rule_severity = Warning;

@@ -14,6 +14,11 @@ let toplevel_state_site f = in_dir "lib/util/" f || in_dir "lib/obs/" f
 let domain_site f = f = "lib/util/pool.ml" || f = "lib/obs/obs.ml"
 let out_site f = f = "lib/util/out.ml"
 
+(* GC statistics depend on allocation history, heap policy and domain
+   count — reading them anywhere but the Obs probe layer smuggles
+   nondeterminism past D002. *)
+let gc_site f = in_dir "lib/obs/" f
+
 (* The flat numeric kernels: the only modules allowed to touch Bigarray
    storage directly. Everyone else goes through their typed APIs. *)
 let bigarray_site f =
@@ -75,6 +80,10 @@ let check_ident ~file lid loc =
          (String.concat "." (flatten lid)))
   | "Marshal" :: _ -> f "D004" "Marshal is representation-dependent and banned"
   | [ "Obj"; "magic" ] -> f "D005" "Obj.magic defeats the type system and the determinism audit"
+  | "Gc" :: _ when not (gc_site file) ->
+    f "P005"
+      (Printf.sprintf "%s outside lib/obs: GC stats are nondeterministic; use the Obs GC probes"
+         (String.concat "." (flatten lid)))
   | ("Domain" | "Atomic") :: _ when not (domain_site file) ->
     f "P002"
       (Printf.sprintf "%s outside Bn_util.Pool / Bn_obs.Obs — raw parallelism breaks the \
@@ -103,6 +112,8 @@ let check_module_ident ~file lid loc =
   | "Random" :: _ when not (prng_site file) ->
     f "D001" "module Random: randomness must come from an explicit Bn_util.Prng seed"
   | "Marshal" :: _ -> f "D004" "Marshal is representation-dependent and banned"
+  | "Gc" :: _ when not (gc_site file) ->
+    f "P005" "module Gc outside lib/obs: GC stats are nondeterministic; use the Obs GC probes"
   | ("Domain" | "Atomic") :: _ when not (domain_site file) ->
     f "P002" "module Domain/Atomic outside Bn_util.Pool / Bn_obs.Obs"
   | "Bigarray" :: _ when is_lib file && not (bigarray_site file) ->

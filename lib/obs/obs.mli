@@ -40,6 +40,19 @@ val set_progress : bool -> unit
 
 val progress_enabled : unit -> bool
 
+val set_timing : bool -> unit
+(** Enable wall-clock sketch observations ({!timed}). Off by default so
+    uninstrumented runs pay one atomic load per [timed] call site.
+    [Det]-kind sketches are always on, like counters. *)
+
+val timing_enabled : unit -> bool
+
+val set_gc_probes : bool -> unit
+(** Enable [Gc.quick_stat] deltas at span boundaries (implies a useful
+    result only when tracing is also on). Off by default. *)
+
+val gc_probes_enabled : unit -> bool
+
 (** {1 Counters, gauges, histograms} *)
 
 type kind = Det  (** deterministic: asserted across [-j] and reruns *)
@@ -76,6 +89,52 @@ val observe : hist -> int -> unit
 val counters_snapshot : ?kind:kind -> unit -> (string * int) list
 (** All (or one kind's) counter values, sorted by name. *)
 
+(** {1 Quantile sketches}
+
+    Mergeable log-bucketed sketches (HDR-style: exact below 64, then 32
+    sub-buckets per power of two, relative error <= 1/64 on bucket
+    representatives). Observations are plain bumps of a domain-local
+    row — no atomics — and a snapshot sums the shards in fixed
+    registration order, so a {!Det} sketch is byte-identical at any
+    [-j] and across same-seed reruns. Wall-clock sketches must be
+    {!Volatile} and are only populated when {!set_timing} is on. *)
+
+type sketch
+
+val sketch : ?kind:kind -> string -> sketch
+(** Find-or-create by name (idempotent; the first call fixes the kind). *)
+
+val observe_sk : sketch -> int -> unit
+(** Record one non-negative value (negatives clamp to 0). *)
+
+val timed : sketch -> (unit -> 'a) -> 'a
+(** [timed sk f] runs [f] and, when {!timing_enabled}, records its
+    wall-clock duration in nanoseconds into [sk]. One atomic load when
+    timing is off. Exception-safe. *)
+
+module Sketch : sig
+  type snap = { total : int; cells : (int * int) list }
+  (** Total observation count plus sorted [(bucket index, count)] cells. *)
+
+  val empty : snap
+  val of_values : int list -> snap
+  val snapshot : sketch -> snap
+  val merge : snap -> snap -> snap
+  (** Associative and commutative; cells union with counts added. *)
+
+  val count : snap -> int
+
+  val quantile : snap -> float -> int
+  (** Nearest-rank quantile (rank [ceil (q*n)] clamped to [1..n]),
+      reported as the bucket representative (midpoint). 0 when empty. *)
+
+  val quantiles : snap -> (string * int) list
+  (** [p50], [p90], [p99], [p999]. *)
+end
+
+val sketches_snapshot : ?kind:kind -> unit -> (string * Sketch.snap) list
+(** All (or one kind's) sketches, sorted by name. *)
+
 (** {1 Spans} *)
 
 type arg = I of int | S of string | F of float
@@ -105,7 +164,13 @@ val events : unit -> event list
     chronological within each domain. *)
 
 val reset : unit -> unit
-(** Zero every counter/gauge/histogram and drop all recorded events. *)
+(** Zero every counter/gauge/histogram/sketch, drop all recorded events
+    and GC probe data. *)
+
+val gc_snapshot : unit -> (string * (int * int * int)) list
+(** Per span label, inclusive [(alloc words, major collections, minor
+    collections)] deltas captured while {!set_gc_probes} (and tracing)
+    were on; sorted by label. *)
 
 (** {1 Exporters} *)
 
@@ -115,13 +180,35 @@ module Export : sig
       timestamps in microseconds relative to the earliest event. *)
 
   val metrics_json : unit -> string
-  (** Flat snapshot: ["counters"] (Det, sorted — the byte-comparable
-      section), ["volatile"], ["gauges"], ["histograms"], ["spans"]. *)
+  (** Flat snapshot (schema [beyond-nash-metrics/2]): ["counters"] and
+      ["sketches"] (Det, sorted — the byte-comparable sections),
+      ["volatile"], ["sketches_volatile"], ["gauges"], ["histograms"],
+      ["gc"], ["spans"]. *)
 end
 
 val summary : ?max_rows:int -> unit -> string
-(** Human-readable table: aggregated span tree (calls, total wall ms)
-    and the busiest counters. *)
+(** Human-readable table: aggregated span tree (calls, total wall ms),
+    the busiest counters, and quantiles for every non-empty histogram
+    and sketch. *)
+
+(** {1 Span-tree profiler} *)
+
+module Profile : sig
+  type row = { path : string list; calls : int; incl_us : float; excl_us : float }
+  (** One aggregated span path: call count, inclusive wall time, and
+      exclusive (self) time with direct children subtracted. *)
+
+  val rows : unit -> row list
+  (** Aggregated over all domains, sorted by path. *)
+
+  val table : ?max_rows:int -> unit -> string
+  (** The [--profile] table: indented span tree with calls / incl ms /
+      excl ms, plus per-region GC deltas when probes were on. *)
+
+  val folded : unit -> string
+  (** Collapsed-stack export ([a;b;c <excl_us>] per line) for
+      flamegraph.pl / speedscope; zero-weight rows dropped. *)
+end
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON string literal. *)
@@ -133,4 +220,20 @@ module Json : sig
   (** [true] iff the string is one well-formed RFC 8259 JSON value.
       Used by the test suite and CI to validate exporter output without
       an external JSON dependency. *)
+
+  (** Parsed JSON; object members keep file order. *)
+  type value =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  val parse : string -> value option
+  (** Full RFC 8259 parse (escapes decoded, [\uXXXX] as UTF-8);
+      [None] on malformed input. *)
+
+  val member : string -> value -> value option
+  (** First member of that name when the value is an object. *)
 end

@@ -18,6 +18,11 @@ let c_queries = Obs.counter ~kind:Obs.Det "gnutella_soa.queries"
 let c_cross = Obs.counter ~kind:Obs.Det "gnutella_soa.cross_shard_events"
 let c_flushes = Obs.counter ~kind:Obs.Det "gnutella_soa.flushes"
 
+(* Batch sizing is derived from [queries]/[batch_queries] only, so its
+   distribution is Det; the per-batch wall time is Volatile. *)
+let sk_batch_q = Obs.sketch ~kind:Obs.Det "gnutella_soa.queries_per_batch"
+let sk_batch_ns = Obs.sketch ~kind:Obs.Volatile "gnutella_soa.batch_ns"
+
 let batch_queries = 1 lsl 20
 
 let simulate ?(jobs = 1) ?(shards = 1) rng params =
@@ -84,6 +89,8 @@ let simulate ?(jobs = 1) ?(shards = 1) rng params =
     let batches = Soa.partition ~n:queries ~shards:((queries + batch_queries - 1) / batch_queries) in
     for b = 0 to Soa.shards batches - 1 do
       let bq_lo, bq_hi = Soa.bounds batches b in
+      Obs.observe_sk sk_batch_q (bq_hi - bq_lo);
+      Obs.timed sk_batch_ns @@ fun () ->
       let qpart = Soa.partition ~n:(bq_hi - bq_lo) ~shards in
       let cross_tally = Array.make shards 0 in
       Pool.iter_grid pool

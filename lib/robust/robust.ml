@@ -11,6 +11,7 @@ let c_checks = Obs.counter "robust.checks"
 let c_searches = Obs.counter ~kind:Obs.Volatile "robust.searches"
 let c_pairs = Obs.counter ~kind:Obs.Volatile "robust.pairs_scanned"
 let c_devs = Obs.counter ~kind:Obs.Volatile "robust.deviation_checks"
+let sk_check_ns = Obs.sketch ~kind:Obs.Volatile "robust.check_ns"
 
 type variant = Strong | Weak
 
@@ -225,12 +226,14 @@ let immunity_violation ~eps ~pool g prof ~base ~t =
 
 let check_resilience ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k =
   Obs.incr c_checks;
+  Obs.timed sk_check_ns @@ fun () ->
   let pool = pool_of_jobs jobs in
   let base = baseline g prof in
   verdict_of (resilience_violation ~variant ~eps ~pool g prof ~base ~k ~t:0)
 
 let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
   Obs.incr c_checks;
+  Obs.timed sk_check_ns @@ fun () ->
   let pool = pool_of_jobs jobs in
   let base = baseline g prof in
   verdict_of (immunity_violation ~eps ~pool g prof ~base ~t)
@@ -247,6 +250,7 @@ let check_immunity ?(eps = 1e-9) ?jobs g prof ~t =
    The pool and the baseline are built once and shared by both sides. *)
 let check_robustness ?(variant = Strong) ?(eps = 1e-9) ?jobs g prof ~k ~t =
   Obs.incr c_checks;
+  Obs.timed sk_check_ns @@ fun () ->
   let pool = pool_of_jobs jobs in
   let base = baseline g prof in
   match immunity_violation ~eps ~pool g prof ~base ~t with

@@ -21,6 +21,11 @@ let c_satisfied = Obs.counter ~kind:Obs.Det "scrip_soa.satisfied"
 let c_cross = Obs.counter ~kind:Obs.Det "scrip_soa.cross_shard_events"
 let c_flushes = Obs.counter ~kind:Obs.Det "scrip_soa.flushes"
 
+(* The request count per step is seed-determined (hoarder draws skip the
+   post), so its distribution is Det; the batch wall time is Volatile. *)
+let sk_step_req = Obs.sketch ~kind:Obs.Det "scrip_soa.requests_per_step"
+let sk_step_ns = Obs.sketch ~kind:Obs.Volatile "scrip_soa.step_ns"
+
 type t = {
   params : Scrip.params;
   part : Soa.part;
@@ -125,6 +130,7 @@ let serve t c v =
 
 let step ?(pool = Pool.serial) t =
   Obs.span "scrip_soa.step" (fun () ->
+    Obs.timed sk_step_ns @@ fun () ->
     let n = Soa.n t.part and shards = Soa.shards t.part in
     Array.fill t.tallies 0 (Array.length t.tallies) 0;
     let shard_ids = Array.init shards Fun.id in
@@ -193,7 +199,8 @@ let step ?(pool = Pool.serial) t =
     Obs.incr c_steps;
     Obs.incr c_flushes;
     Obs.add2 c_requests !req c_satisfied !sat;
-    Obs.add c_cross !crx)
+    Obs.add c_cross !crx;
+    Obs.observe_sk sk_step_req !req)
 
 let stats t =
   let n = Soa.n t.part in

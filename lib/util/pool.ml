@@ -10,6 +10,7 @@ let c_chunks = Obs.counter ~kind:Obs.Volatile "pool.chunks"
    telemetry, entirely timing-dependent. *)
 let c_steals = Obs.counter ~kind:Obs.Volatile "pool.steals"
 let g_max_domains = Obs.gauge "pool.max_domains"
+let sk_chunk_ns = Obs.sketch ~kind:Obs.Volatile "pool.chunk_ns"
 
 type t = { budget : int }
 
@@ -35,11 +36,12 @@ let run_workers ~d body =
   Obs.add c_chunks d;
   Obs.max_gauge g_max_domains d;
   (* One span per chunk, recorded on the worker's own domain; its wall
-     time is the chunk's busy time. *)
+     time is the chunk's busy time, also sketched (when timing is on) so
+     the chunk-size imbalance shows up as p50-vs-p99 spread. *)
   let body j =
     Obs.span "pool.chunk"
       ~args:(fun () -> [ ("worker", Obs.I j); ("domains", Obs.I d) ])
-      (fun () -> body j)
+      (fun () -> Obs.timed sk_chunk_ns (fun () -> body j))
   in
   if d <= 1 then body 0
   else begin

@@ -86,6 +86,17 @@ let test_p004 () =
   check_rules "drivers may use Bigarray" []
     (lint "bin/t.ml" "let f a = Bigarray.Array1.get a 0\n")
 
+let test_p005 () =
+  check_rules "Gc.quick_stat flagged in lib" [ "P005" ]
+    (lint "lib/game/t.ml" "let s () = Gc.quick_stat ()\n");
+  check_rules "Gc.compact flagged in bin" [ "P005" ] (lint "bin/t.ml" "let f () = Gc.compact ()\n");
+  check_rules "module alias flagged" [ "P005" ] (lint "lib/scrip/t.ml" "module G = Gc\n");
+  check_rules "Obs is the probe site" []
+    (lint "lib/obs/obs.ml" "let s () = Gc.quick_stat ()\n");
+  check_rules "allow suppresses with reason" []
+    (lint "lib/game/t.ml"
+       "[@@@lint.allow \"P005\" \"heap sizing experiment, reviewed\"]\nlet f () = Gc.compact ()\n")
+
 let test_p003 () =
   check_rules "print_endline flagged in lib" [ "P003" ]
     (lint "lib/game/t.ml" "let f () = print_endline \"hi\"\n");
@@ -243,6 +254,7 @@ let suite =
     Alcotest.test_case "P002 domain confinement" `Quick test_p002;
     Alcotest.test_case "P003 stdout discipline" `Quick test_p003;
     Alcotest.test_case "P004 Bigarray confinement" `Quick test_p004;
+    Alcotest.test_case "P005 Gc confinement" `Quick test_p005;
     Alcotest.test_case "H002 shadowing opens" `Quick test_h002;
     Alcotest.test_case "E000 parse failure" `Quick test_e000;
     Alcotest.test_case "allow: suppresses with reason" `Quick test_allow_suppresses;

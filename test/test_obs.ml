@@ -286,6 +286,375 @@ let prop_escape_valid =
     QCheck.string
     (fun s -> B.Obs.Json.validate ("\"" ^ B.Obs.json_escape s ^ "\""))
 
+(* {1 Quantile sketches} *)
+
+module Sk = B.Obs.Sketch
+
+let contains s ~sub =
+  let ls = String.length sub and ln = String.length s in
+  let rec scan i = i + ls <= ln && (String.sub s i ls = sub || scan (i + 1)) in
+  ls = 0 || scan 0
+
+(* Exact nearest-rank quantile over the raw values, the reference the
+   sketch's bounded-error claim is checked against. *)
+let exact_quantile vs q =
+  let sorted = List.sort compare vs in
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let test_sketch_basic () =
+  let s = Sk.of_values [ 5; 1; 3; 3; 2 ] in
+  Alcotest.(check int) "count" 5 (Sk.count s);
+  (* Values below 64 land in exact buckets, so small-value quantiles are
+     exact nearest-rank. *)
+  Alcotest.(check int) "p50 exact below 64" 3 (Sk.quantile s 0.5);
+  Alcotest.(check int) "p999 = max for small sets" 5 (Sk.quantile s 0.999);
+  Alcotest.(check int) "q=0 clamps to rank 1" 1 (Sk.quantile s 0.0);
+  Alcotest.(check int) "empty sketch quantile is 0" 0 (Sk.quantile Sk.empty 0.5);
+  Alcotest.(check int) "negatives clamp to 0" 0 (Sk.quantile (Sk.of_values [ -7 ]) 0.5);
+  let qs = Sk.quantiles s in
+  Alcotest.(check (list string)) "quantiles labels"
+    [ "p50"; "p90"; "p99"; "p999" ]
+    (List.map fst qs)
+
+let prop_sketch_merge =
+  QCheck.Test.make ~name:"sketch merge is associative and commutative" ~count:100
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 40) (int_bound 1_000_000))
+        (list_of_size Gen.(0 -- 40) (int_bound 1_000_000))
+        (list_of_size Gen.(0 -- 40) (int_bound 1_000_000)))
+    (fun (a, b, c) ->
+      let sa = Sk.of_values a and sb = Sk.of_values b and sc = Sk.of_values c in
+      Sk.merge (Sk.merge sa sb) sc = Sk.merge sa (Sk.merge sb sc)
+      && Sk.merge sa sb = Sk.merge sb sa
+      && Sk.count (Sk.merge sa sb) = List.length a + List.length b
+      && Sk.merge sa Sk.empty = sa)
+
+let prop_sketch_rank_error =
+  QCheck.Test.make ~name:"sketch quantiles within 1/32 of exact nearest-rank" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+    (fun vs ->
+      let s = Sk.of_values vs in
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile vs q in
+          let got = Sk.quantile s q in
+          abs (got - exact) <= max 1 (exact / 32))
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
+(* The Det sketch sections of the workloads above must be byte-identical
+   at -j1 and -j4 and across reruns — the sketch analogue of
+   [test_det_jobs_invariant]. Cells are compared structurally (bucket
+   indices AND counts), which is exactly what obsdiff asserts. *)
+let det_sketch_workload ~jobs () =
+  B.Obs.reset ();
+  let pool = B.Pool.create ~domains:jobs () in
+  ignore (FS.explore_eig_n3t1 ~pool ~seed:42 ~trials:20 ());
+  let params = { (B.Scrip.default_params ~n:2_000) with B.Scrip.rounds = 0 } in
+  ignore
+    (B.Scrip_soa.run ~jobs ~shards:16 ~seed:42 ~steps:10 ~params
+       ~kind_of:(fun i -> if i mod 9 = 0 then B.Scrip.Hoarder else B.Scrip.Standard 5)
+       ~money_per_agent:2.0 ());
+  ignore
+    (B.Gnutella_soa.simulate ~jobs ~shards:16 (B.Prng.create 42)
+       (B.Gnutella.default_params ~users:2_000));
+  List.map
+    (fun (name, snap) ->
+      ( name,
+        Printf.sprintf "n=%d %s" (Sk.count snap)
+          (String.concat ";"
+             (List.map (fun (b, c) -> Printf.sprintf "%d:%d" b c) snap.Sk.cells)) ))
+    (B.Obs.sketches_snapshot ~kind:B.Obs.Det ())
+
+let test_sketch_det_invariance () =
+  let s1 = det_sketch_workload ~jobs:1 () in
+  let s4 = det_sketch_workload ~jobs:4 () in
+  Alcotest.(check (list (pair string string))) "Det sketches identical at jobs=1 and jobs=4" s1 s4;
+  let s1' = det_sketch_workload ~jobs:1 () in
+  Alcotest.(check (list (pair string string))) "Det sketches identical across reruns" s1 s1';
+  let count name =
+    match List.assoc_opt name (B.Obs.sketches_snapshot ~kind:B.Obs.Det ()) with
+    | Some snap -> Sk.count snap
+    | None -> -1
+  in
+  Alcotest.(check int) "shrink-evals sketch counts the violations" 14
+    (count "explore.shrink_evals_per_violation");
+  Alcotest.(check int) "scrip requests/step sketch counts the steps" 10
+    (count "scrip_soa.requests_per_step");
+  Alcotest.(check bool) "gnutella queries/batch sketch populated" true
+    (count "gnutella_soa.queries_per_batch" > 0)
+
+(* Wall-clock sketches stay empty until --profile/--metrics style flags
+   flip the timing switch: with it off, [timed] is one atomic load. *)
+let test_volatile_sketch_gated () =
+  B.Obs.reset ();
+  let params = { (B.Scrip.default_params ~n:500) with B.Scrip.rounds = 0 } in
+  let run () =
+    ignore
+      (B.Scrip_soa.run ~shards:4 ~seed:1 ~steps:3 ~params
+         ~kind_of:(fun _ -> B.Scrip.Standard 5)
+         ~money_per_agent:2.0 ())
+  in
+  run ();
+  let count name =
+    match List.assoc_opt name (B.Obs.sketches_snapshot ~kind:B.Obs.Volatile ()) with
+    | Some snap -> Sk.count snap
+    | None -> -1
+  in
+  Alcotest.(check int) "timing off records nothing" 0 (count "scrip_soa.step_ns");
+  B.Obs.set_timing true;
+  Fun.protect
+    ~finally:(fun () -> B.Obs.set_timing false)
+    (fun () ->
+      run ();
+      Alcotest.(check int) "timing on records one duration per step" 3
+        (count "scrip_soa.step_ns"))
+
+(* {1 Profiler and GC probes} *)
+
+let test_profile_rows_and_folded () =
+  B.Obs.reset ();
+  B.Obs.set_tracing true;
+  B.Obs.set_gc_probes true;
+  Fun.protect
+    ~finally:(fun () ->
+      B.Obs.set_tracing false;
+      B.Obs.set_gc_probes false)
+    (fun () ->
+      List.iter
+        (fun id -> ignore (Bn_experiments.Experiments.render ~jobs:2 id))
+        [ "E1"; "E2"; "E3" ]);
+  let rows = B.Obs.Profile.rows () in
+  let leaf r = List.nth r.B.Obs.Profile.path (List.length r.B.Obs.Profile.path - 1) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "profile covers %s" name)
+        true
+        (List.exists (fun r -> leaf r = name) rows))
+    [ "exp.E1"; "exp.E2"; "exp.E3" ];
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "exclusive <= inclusive" true
+        (r.B.Obs.Profile.excl_us <= r.B.Obs.Profile.incl_us +. 1e-6);
+      Alcotest.(check bool) "exclusive >= 0" true (r.B.Obs.Profile.excl_us >= -1e-6))
+    rows;
+  let table = B.Obs.Profile.table () in
+  Alcotest.(check bool) "table has the header" true (contains table ~sub:"excl ms");
+  let folded = B.Obs.Profile.folded () in
+  Alcotest.(check bool) "folded output is non-empty" true (String.length folded > 0);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "folded line without weight: %S" line
+      | Some i ->
+        let weight = String.sub line (i + 1) (String.length line - i - 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "folded weight is a positive int: %S" line)
+          true
+          (match int_of_string_opt weight with Some w -> w > 0 | None -> false))
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' folded));
+  (* GC probes attributed per region: the E-experiments allocate. *)
+  let gc = B.Obs.gc_snapshot () in
+  Alcotest.(check bool) "gc snapshot has the exp.E3 region" true (List.mem_assoc "exp.E3" gc)
+
+let test_gc_probes_off_by_default () =
+  B.Obs.reset ();
+  B.Obs.set_tracing true;
+  Fun.protect
+    ~finally:(fun () -> B.Obs.set_tracing false)
+    (fun () -> ignore (FS.explore_eig_n3t1 ~seed:3 ~trials:2 ()));
+  Alcotest.(check (list (pair string (triple int int int)))) "no gc data without the switch" []
+    (List.map (fun (n, (a, b, c)) -> (n, (a, b, c))) (B.Obs.gc_snapshot ()))
+
+(* The acceptance bound: full instrumentation (tracing + timing + GC
+   probes) costs < 5% wall time at experiment scale — the `--profile
+   --all` shape, where spans wrap batches of real work rather than
+   microsecond slivers. The workload below matches that granularity
+   (SoA steps of 20k agents plus a small explorer mix); min-of-N on
+   both sides squeezes out scheduler noise, and Obs.now_us is the
+   sanctioned clock. *)
+let test_instrumentation_overhead () =
+  let params = { (B.Scrip.default_params ~n:20_000) with B.Scrip.rounds = 0 } in
+  let workload () =
+    ignore
+      (B.Scrip_soa.run ~shards:16 ~seed:11 ~steps:15 ~params
+         ~kind_of:(fun _ -> B.Scrip.Standard 5)
+         ~money_per_agent:2.0 ());
+    ignore (FS.explore_eig_n3t1 ~seed:42 ~trials:20 ())
+  in
+  let time_min n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = B.Obs.now_us () in
+      f ();
+      let dt = B.Obs.now_us () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  B.Obs.reset ();
+  workload ();
+  (* warm caches *)
+  let off = time_min 5 workload in
+  B.Obs.set_tracing true;
+  B.Obs.set_timing true;
+  B.Obs.set_gc_probes true;
+  Fun.protect
+    ~finally:(fun () ->
+      B.Obs.set_tracing false;
+      B.Obs.set_timing false;
+      B.Obs.set_gc_probes false;
+      B.Obs.reset ())
+    (fun () ->
+      workload ();
+      (* warm instrumented paths *)
+      let on = time_min 5 workload in
+      Alcotest.(check bool)
+        (Printf.sprintf "instrumented %.0fus vs bare %.0fus (< 5%% overhead)" on off)
+        true
+        (on < off *. 1.05))
+
+(* {1 Summary quantiles (the S6 fix)} *)
+
+let test_summary_renders_quantiles () =
+  B.Obs.reset ();
+  let h = B.Obs.hist ~kind:B.Obs.Volatile "test.obs.sum_hist" in
+  List.iter (B.Obs.observe h) [ 1; 2; 4; 1000 ];
+  let sk = B.Obs.sketch ~kind:B.Obs.Volatile "test.obs.sum_sketch" in
+  List.iter (B.Obs.observe_sk sk) [ 10; 20; 30 ];
+  let s = B.Obs.summary () in
+  let has sub = contains s ~sub in
+  Alcotest.(check bool) "summary has a quantiles section" true (has "quantiles (");
+  Alcotest.(check bool) "summary shows the hist" true (has "test.obs.sum_hist");
+  Alcotest.(check bool) "summary shows the sketch" true (has "test.obs.sum_sketch");
+  Alcotest.(check bool) "summary shows p50 values" true (has "p50=");
+  B.Obs.reset ()
+
+(* {1 Metrics v2 + JSON parser} *)
+
+let test_metrics_v2_sections () =
+  B.Obs.reset ();
+  let sk = B.Obs.sketch ~kind:B.Obs.Det "test.obs.v2_sketch" in
+  List.iter (B.Obs.observe_sk sk) [ 1; 2; 300 ];
+  let m = B.Obs.Export.metrics_json () in
+  Alcotest.(check bool) "metrics v2 is valid JSON" true (B.Obs.Json.validate m);
+  match B.Obs.Json.parse m with
+  | None -> Alcotest.fail "metrics v2 did not parse"
+  | Some v ->
+    Alcotest.(check (option string)) "schema bumped"
+      (Some "beyond-nash-metrics/2")
+      (match B.Obs.Json.member "schema" v with Some (B.Obs.Json.Str s) -> Some s | _ -> None);
+    (match B.Obs.Json.member "sketches" v with
+    | Some (B.Obs.Json.Obj kvs) ->
+      Alcotest.(check bool) "Det sketch exported" true (List.mem_assoc "test.obs.v2_sketch" kvs)
+    | _ -> Alcotest.fail "no sketches section");
+    (match B.Obs.Json.member "gc" v with
+    | Some (B.Obs.Json.Obj _) -> ()
+    | _ -> Alcotest.fail "no gc section");
+    B.Obs.reset ()
+
+let test_json_parse () =
+  let module J = B.Obs.Json in
+  (match J.parse {|{"a": [1, 2.5e1, "x\nA", true, null], "b": -3}|} with
+  | Some (J.Obj [ ("a", J.Arr [ J.Num 1.0; J.Num 25.0; J.Str "x\nA"; J.Bool true; J.Null ]);
+                  ("b", J.Num v) ]) ->
+    Alcotest.(check (float 0.0)) "negative number" (-3.0) v
+  | _ -> Alcotest.fail "parse shape mismatch");
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %s" s) true (J.parse s = None))
+    [ ""; "{"; "[1,]"; "01"; "{} x"; {|{"a":}|} ]
+
+(* {1 obsdiff} *)
+
+module Od = B.Obsdiff
+
+let diff_exn ?threshold ?rows a b =
+  match Od.diff ?threshold ?rows a b with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "obsdiff error: %s" e
+
+(* Same-seed reruns produce metrics whose Det sections agree, and
+   obsdiff says so — acceptance criterion (a). *)
+let test_obsdiff_metrics_reruns_pass () =
+  ignore (det_sketch_workload ~jobs:1 ());
+  let m1 = B.Obs.Export.metrics_json () in
+  ignore (det_sketch_workload ~jobs:4 ());
+  let m2 = B.Obs.Export.metrics_json () in
+  let r = diff_exn m1 m2 in
+  Alcotest.(check string) "kind detected" "metrics" r.Od.kind;
+  Alcotest.(check bool) "non-trivial check count" true (List.length r.Od.checks > 5);
+  Alcotest.(check int) "rerun metrics diff passes" 0 r.Od.failures;
+  Alcotest.(check bool) "verdict json is valid" true
+    (B.Obs.Json.validate (Od.verdict_json ~ref_name:"a" ~new_name:"b" r));
+  B.Obs.reset ()
+
+let test_obsdiff_metrics_catches_drift () =
+  ignore (det_sketch_workload ~jobs:1 ());
+  let m1 = B.Obs.Export.metrics_json () in
+  B.Obs.reset ();
+  let c = B.Obs.counter ~kind:B.Obs.Det "explore.schedules" in
+  B.Obs.add c 999;
+  let m2 = B.Obs.Export.metrics_json () in
+  let r = diff_exn m1 m2 in
+  Alcotest.(check bool) "drifted Det counters fail" true (r.Od.failures > 0);
+  Alcotest.(check bool) "the drifted counter is named" true
+    (List.exists
+       (fun c -> c.Od.status <> Od.Pass && c.Od.cname = "counter:explore.schedules")
+       r.Od.checks);
+  B.Obs.reset ()
+
+(* A doctored >2x regression fails with a nonzero failure count and the
+   offending row named — acceptance criterion (b). v1 and v2 bench files
+   mix freely (extra v2 columns are ignored). *)
+let test_obsdiff_bench_doctored_fails () =
+  let v1 =
+    {|{ "schema": "beyond-nash-bench/1", "jobs": 1,
+        "microbench": [ { "name": "beyond_nash learning/replicator-500-rounds", "ns_per_run": 1000.0 },
+                        { "name": "beyond_nash nash/support-enum-3x3", "ns_per_run": 500.0 } ],
+        "wallclock": [ { "name": "scrip/soa-1e6-step", "mode": "serial", "jobs": 1, "seconds": 0.5 } ] }|}
+  in
+  let v2_ok =
+    {|{ "schema": "beyond-nash-bench/2", "jobs": 1,
+        "microbench": [ { "name": "beyond_nash learning/replicator-500-rounds", "ns_per_run": 1500.0, "runs": 30, "p50_ns": 1400.0, "p99_ns": 1900.0, "stddev_ns": 100.0 },
+                        { "name": "beyond_nash nash/support-enum-3x3", "ns_per_run": 400.0, "runs": 40, "p50_ns": 390.0, "p99_ns": 600.0, "stddev_ns": 50.0 } ],
+        "wallclock": [ { "name": "scrip/soa-1e6-step", "mode": "serial", "jobs": 1, "seconds": 0.6 } ] }|}
+  in
+  let doctored =
+    {|{ "schema": "beyond-nash-bench/2", "jobs": 1,
+        "microbench": [ { "name": "beyond_nash learning/replicator-500-rounds", "ns_per_run": 3100.0 },
+                        { "name": "beyond_nash nash/support-enum-3x3", "ns_per_run": 510.0 } ],
+        "wallclock": [ { "name": "scrip/soa-1e6-step", "mode": "serial", "jobs": 1, "seconds": 0.51 } ] }|}
+  in
+  let r = diff_exn v1 v2_ok in
+  Alcotest.(check string) "kind detected" "bench" r.Od.kind;
+  Alcotest.(check int) "v1 vs v2 within threshold passes" 0 r.Od.failures;
+  Alcotest.(check int) "all three rows compared" 3 (List.length r.Od.checks);
+  let r = diff_exn v1 doctored in
+  Alcotest.(check int) "exactly the doctored row fails" 1 r.Od.failures;
+  Alcotest.(check bool) "the regressed row is named" true
+    (List.exists
+       (fun c ->
+         c.Od.status = Od.Fail && c.Od.cname = "beyond_nash learning/replicator-500-rounds")
+       r.Od.checks);
+  (* --rows: a named row must exist on both sides. *)
+  let r = diff_exn ~rows:[ "no-such-row" ] v1 v2_ok in
+  Alcotest.(check bool) "missing named row fails" true (r.Od.failures > 0);
+  (* A custom threshold loosens the gate. *)
+  let r = diff_exn ~threshold:4.0 v1 doctored in
+  Alcotest.(check int) "threshold 4x tolerates the 3.1x row" 0 r.Od.failures
+
+let test_obsdiff_rejects_garbage () =
+  (match Od.diff "{ not json" "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed REF");
+  match Od.diff {|{"schema": "beyond-nash-bench/1"}|} {|{"schema": "beyond-nash-metrics/2"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted mixed artifact kinds"
+
 let suite =
   [
     Alcotest.test_case "counter registry" `Quick test_registry;
@@ -305,4 +674,26 @@ let suite =
     Alcotest.test_case "exporters emit valid JSON" `Quick test_exporters_valid_json;
     Alcotest.test_case "JSON validator accept/reject" `Quick test_json_validator;
     QCheck_alcotest.to_alcotest prop_escape_valid;
+    Alcotest.test_case "sketch: basics and exact small-value quantiles" `Quick test_sketch_basic;
+    QCheck_alcotest.to_alcotest prop_sketch_merge;
+    QCheck_alcotest.to_alcotest prop_sketch_rank_error;
+    Alcotest.test_case "Det sketches: jobs=1 = jobs=4 and rerun invariant" `Slow
+      test_sketch_det_invariance;
+    Alcotest.test_case "Volatile timing sketches gated by set_timing" `Quick
+      test_volatile_sketch_gated;
+    Alcotest.test_case "profiler rows, folded export, gc regions" `Slow
+      test_profile_rows_and_folded;
+    Alcotest.test_case "gc probes off by default" `Quick test_gc_probes_off_by_default;
+    Alcotest.test_case "instrumentation overhead < 5%" `Slow test_instrumentation_overhead;
+    Alcotest.test_case "summary renders hist+sketch quantiles" `Quick
+      test_summary_renders_quantiles;
+    Alcotest.test_case "metrics v2 sections present and parseable" `Quick
+      test_metrics_v2_sections;
+    Alcotest.test_case "JSON parser shapes and rejections" `Quick test_json_parse;
+    Alcotest.test_case "obsdiff: rerun metrics pass" `Slow test_obsdiff_metrics_reruns_pass;
+    Alcotest.test_case "obsdiff: Det counter drift fails" `Slow test_obsdiff_metrics_catches_drift;
+    Alcotest.test_case "obsdiff: doctored bench regression fails" `Quick
+      test_obsdiff_bench_doctored_fails;
+    Alcotest.test_case "obsdiff: garbage and kind mismatch rejected" `Quick
+      test_obsdiff_rejects_garbage;
   ]
