@@ -44,6 +44,16 @@ let registry =
       summary = "[@@@lint.allow] audit: malformed, unknown rule ID, missing reason, or unused" };
     { id = "E000"; rule_severity = Error;
       summary = "source file failed to parse" };
+    { id = "E001"; rule_severity = Error;
+      summary = "solver/kernel call reaching randomness or the clock transitively, outside Prng" };
+    { id = "E002"; rule_severity = Error;
+      summary = "Det-counter region transitively reaching randomness or the clock" };
+    { id = "R001"; rule_severity = Error;
+      summary = "write to captured mutable state inside a parallel closure (direct or via a global_mut callee)" };
+    { id = "R002"; rule_severity = Error;
+      summary = "Prng draw from captured state inside a parallel closure — use Prng.split" };
+    { id = "R003"; rule_severity = Error;
+      summary = "cross-shard SoA column write inside a parallel closure — use the batched Soa.Exchange" };
   ]
 
 let known_rule id = List.exists (fun r -> r.id = id) registry

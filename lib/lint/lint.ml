@@ -1,4 +1,12 @@
-type report = { findings : Finding.t list; files_scanned : int; dune_files : int }
+type report = {
+  findings : Finding.t list;
+  files_scanned : int;
+  dune_files : int;
+  graph : Callgraph.t;
+  effects : Effects.table;
+}
+
+exception Invalid_root of string
 
 (* {1 Parsing} *)
 
@@ -7,30 +15,30 @@ let parse_lexbuf ~file source =
   Lexing.set_filename lexbuf file;
   lexbuf
 
-(* Per-file rule findings + the file's allow attributes, not yet applied
-   (tree-level H001 findings must be suppressible from the same file). *)
-let analyze ~file source =
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+  | Broken of string
+
+let parse_file ~file source =
   match
-    if Filename.check_suffix file ".mli" then begin
-      let sg = Parse.interface (parse_lexbuf ~file source) in
-      (Rules.check_signature ~file sg, Allow.scan_signature sg)
-    end
-    else begin
-      let str = Parse.implementation (parse_lexbuf ~file source) in
-      (Rules.check_structure ~file str, Allow.scan_structure str)
-    end
+    if Filename.check_suffix file ".mli" then Intf (Parse.interface (parse_lexbuf ~file source))
+    else Impl (Parse.implementation (parse_lexbuf ~file source))
   with
-  | result -> result
-  | exception exn ->
-    let msg =
-      match exn with
-      | Syntaxerr.Error _ -> "syntax error"
-      | _ -> Printexc.to_string exn
-    in
+  | parsed -> parsed
+  | exception Syntaxerr.Error _ -> Broken "syntax error"
+  | exception exn -> Broken (Printexc.to_string exn)
+
+(* Per-file rule findings + the file's allow attributes, not yet applied
+   (tree-level findings must be suppressible from the same file). *)
+let check_parsed ~file = function
+  | Impl str -> (Rules.check_structure ~file str, Allow.scan_structure str)
+  | Intf sg -> (Rules.check_signature ~file sg, Allow.scan_signature sg)
+  | Broken msg ->
     ([ Finding.v ~rule:"E000" ~file ~line:1 ~col:0 (Printf.sprintf "parse failed: %s" msg) ], [])
 
 let lint_source ~file source =
-  let findings, allows = analyze ~file source in
+  let findings, allows = check_parsed ~file (parse_file ~file source) in
   List.sort Finding.compare (Allow.apply ~file allows findings)
 
 (* {1 Tree walking} *)
@@ -75,10 +83,38 @@ let find_root ?start () =
   in
   up (match start with Some d -> d | None -> Sys.getcwd ())
 
-let run ~root =
+let check_root root =
+  if not (Sys.file_exists root && Sys.is_directory root) then raise (Invalid_root root)
+
+(* One pass over the tree: read and parse everything exactly once; the
+   per-file rules and all whole-program analyses share the ASTs. *)
+let load ~root =
+  check_root root;
   let files = walk ~root in
-  let sources = List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli") files in
+  let sources =
+    List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli") files
+  in
   let dunes = List.filter (fun f -> Filename.basename f = "dune" && Rules.in_dir "lib/" f) files in
+  let parsed = List.map (fun f -> (f, parse_file ~file:f (read_file (Filename.concat root f)))) sources in
+  let libs =
+    List.concat_map
+      (fun f -> Layering.libs_of_dune ~file:f (read_file (Filename.concat root f)))
+      dunes
+  in
+  (sources, dunes, parsed, libs)
+
+let mls_of parsed =
+  List.filter_map
+    (fun (f, p) ->
+      match p with Impl str when Filename.check_suffix f ".ml" -> Some (f, str) | _ -> None)
+    parsed
+
+let parse_mls ~root =
+  let _, _, parsed, libs = load ~root in
+  (List.map (fun (l : Layering.lib) -> l.lib_name) libs, mls_of parsed)
+
+let run ~root =
+  let sources, dunes, parsed, libs = load ~root in
   (* H001: every lib/ implementation needs an interface. *)
   let missing_mli f =
     if Rules.in_dir "lib/" f && Filename.check_suffix f ".ml" && not (List.mem (f ^ "i") sources)
@@ -88,21 +124,30 @@ let run ~root =
            "lib/ module without an .mli: exports are unreviewed")
     else None
   in
+  (* Whole-program analyses over the parsed tree. *)
+  let mls = mls_of parsed in
+  let graph = Callgraph.build ~libs:(List.map (fun (l : Layering.lib) -> l.lib_name) libs) mls in
+  let effects, effect_findings = Effects.infer graph in
+  let race_findings = Races.check graph effects mls in
+  let tree = effect_findings @ race_findings in
+  (* Tree-wide findings are merged into their file's batch before the
+     file's allows apply, so E/R suppressions live next to the code they
+     cover and unused ones trip the A001 audit like any other. *)
   let per_file =
     List.concat_map
-      (fun f ->
-        let findings, allows = analyze ~file:f (read_file (Filename.concat root f)) in
+      (fun (f, p) ->
+        let findings, allows = check_parsed ~file:f p in
         let findings = match missing_mli f with Some h -> findings @ [ h ] | None -> findings in
+        let findings = findings @ List.filter (fun (fd : Finding.t) -> fd.file = f) tree in
         Allow.apply ~file:f allows findings)
-      sources
-  in
-  let libs =
-    List.concat_map (fun f -> Layering.libs_of_dune ~file:f (read_file (Filename.concat root f))) dunes
+      parsed
   in
   {
     findings = List.sort Finding.compare (per_file @ Layering.check libs);
     files_scanned = List.length sources;
     dune_files = List.length dunes;
+    graph;
+    effects;
   }
 
 let unsuppressed r = List.filter (fun (f : Finding.t) -> f.suppressed = None) r.findings
@@ -125,20 +170,7 @@ let render_human r =
        suppressed r.files_scanned r.dune_files);
   Buffer.contents b
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Callgraph.json_escape
 
 let to_json r =
   let b = Buffer.create 4096 in
@@ -177,6 +209,9 @@ let to_json r =
     r.findings;
   p "\n  ]\n}\n";
   Buffer.contents b
+
+let callgraph_json r = Callgraph.to_json r.graph
+let effects_json r = Effects.to_json r.graph r.effects
 
 let rules_table () =
   let b = Buffer.create 512 in

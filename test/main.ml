@@ -29,5 +29,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
+      ("json", Test_json.suite);
       ("lint", Test_lint.suite);
     ]

@@ -221,6 +221,186 @@ let test_deleted_suppression_resurfaces () =
         Alcotest.(check int) "right line" 1 f.line
       | _ -> Alcotest.fail "expected exactly one unsuppressed D003")
 
+(* {1 Whole-program analyses: effects and races over a fixture tree}
+
+   A miniature repo exercising the cross-file machinery end to end:
+   dune library wrappers, module aliases, the Prng/Pool/Soa/Obs
+   conventions, and one planted instance of each E/R rule next to its
+   clean twin. *)
+
+let with_wp_tree ?(patch = fun _ -> ()) f =
+  let dir = Filename.temp_file "bn_lint_wp" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let mkdir d = Unix.mkdir (Filename.concat dir d) 0o755 in
+  List.iter mkdir [ "lib"; "lib/util"; "lib/obs"; "lib/agents"; "lib/game" ];
+  let w rel content = write_file (Filename.concat dir rel) content in
+  w "dune-project" "(lang dune 3.0)\n";
+  w "lib/util/dune" "(library\n (name bn_util))\n";
+  w "lib/obs/dune" "(library\n (name bn_obs))\n";
+  w "lib/agents/dune" "(library\n (name bn_agents)\n (libraries bn_util))\n";
+  w "lib/game/dune" "(library\n (name bn_game)\n (libraries bn_util bn_obs bn_agents))\n";
+  w "lib/util/pool.ml"
+    "let map_array f a = Array.map f a\nlet iter_grid ~shards f = for s = 0 to shards - 1 do f s done\n";
+  w "lib/util/pool.mli"
+    "val map_array : ('a -> 'b) -> 'a array -> 'b array\nval iter_grid : shards:int -> (int -> unit) -> unit\n";
+  w "lib/util/prng.ml"
+    "type t = { mutable s : int }\nlet create seed = { s = seed }\nlet split t i = { s = t.s + i }\nlet int t n = t.s mod n\n";
+  w "lib/util/prng.mli"
+    "type t\nval create : int -> t\nval split : t -> int -> t\nval int : t -> int -> int\n";
+  w "lib/util/helpers.ml"
+    "[@@@lint.allow \"D002\" \"fixture: the planted clock source the E rules must catch\"]\n\n\
+     let now () = Unix.gettimeofday ()\n\
+     let tally = Hashtbl.create 16\n\
+     let bump k = Hashtbl.replace tally k 1\n\
+     let pure x = x + 1\n";
+  w "lib/util/helpers.mli"
+    "val now : unit -> float\nval tally : (string, int) Hashtbl.t\nval bump : string -> unit\nval pure : int -> int\n";
+  w "lib/obs/obs.ml"
+    "type t = { mutable n : int }\n\
+     let counter ?(kind = `Det) name = ignore kind; ignore name; { n = 0 }\n\
+     let incr c = c.n <- c.n + 1\n";
+  w "lib/obs/obs.mli"
+    "type t\nval counter : ?kind:[ `Det | `Volatile ] -> string -> t\nval incr : t -> unit\n";
+  w "lib/agents/soa.ml"
+    "module F64 = struct\n\
+    \  type t = float array\n\
+    \  let set (c : t) i v = c.(i) <- v\n\
+    \  let fill (c : t) v = Array.fill c 0 (Array.length c) v\n\
+     end\n";
+  w "lib/agents/soa.mli"
+    "module F64 : sig\n\
+    \  type t = float array\n\
+    \  val set : t -> int -> float -> unit\n\
+    \  val fill : t -> float -> unit\n\
+     end\n";
+  w "lib/game/kern.ml"
+    "let c_steps = Obs.counter \"steps\"\n\n\
+     let region x =\n\
+    \  Obs.incr c_steps;\n\
+    \  let t = Helpers.now () in\n\
+    \  x +. t\n\n\
+     let clean y = Helpers.pure y\n";
+  w "lib/game/kern.mli" "val c_steps : Obs.t\nval region : float -> float\nval clean : int -> int\n";
+  w "lib/game/sim.ml"
+    "let step col base out shards =\n\
+    \  Pool.iter_grid ~shards (fun s ->\n\
+    \      let r = Prng.split base s in\n\
+    \      let _ = Prng.int r 10 in\n\
+    \      let _ = Prng.int base 10 in\n\
+    \      Soa.F64.set col s 1.0;\n\
+    \      Soa.F64.set col 0 2.0;\n\
+    \      Helpers.bump \"x\";\n\
+    \      out.(s) <- float_of_int s;\n\
+    \      out.(0) <- 0.0)\n";
+  w "lib/game/sim.mli" "val step : Soa.F64.t -> Prng.t -> float array -> int -> unit\n";
+  patch (fun rel content -> w rel content);
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let findings_of_rule rule report =
+  List.filter (fun (f : F.t) -> f.rule = rule) (L.unsuppressed report)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_effects_rules () =
+  with_wp_tree (fun dir ->
+      let report = L.run ~root:dir in
+      (match findings_of_rule "E001" report with
+      | [ f ] ->
+        Alcotest.(check string) "E001 fires in the kernel caller" "lib/game/kern.ml" f.file;
+        Alcotest.(check bool) "E001 names the clock helper" true
+          (contains f.message "lib/util/helpers.ml#now")
+      | fs -> Alcotest.fail (Printf.sprintf "expected exactly one E001, got %d" (List.length fs)));
+      match findings_of_rule "E002" report with
+      | [ f ] ->
+        Alcotest.(check string) "E002 fires on the Det region" "lib/game/kern.ml" f.file;
+        Alcotest.(check bool) "E002 names the region" true
+          (contains f.message "kern.ml#region")
+      | fs -> Alcotest.fail (Printf.sprintf "expected exactly one E002, got %d" (List.length fs)))
+
+let test_race_rules () =
+  with_wp_tree (fun dir ->
+      let report = L.run ~root:dir in
+      let r001 = findings_of_rule "R001" report in
+      (* Exactly two: the constant-index array write and the transitive
+         global_mut helper; the [out.(s)] write is chunk-derived. *)
+      Alcotest.(check int) "two R001" 2 (List.length r001);
+      Alcotest.(check bool) "transitive helper named" true
+        (List.exists
+           (fun (f : F.t) -> contains f.message "helpers.ml#bump")
+           r001);
+      (match findings_of_rule "R002" report with
+      | [ f ] ->
+        Alcotest.(check int) "R002 on the captured draw, not the split one" 5 f.line
+      | fs -> Alcotest.fail (Printf.sprintf "expected exactly one R002, got %d" (List.length fs)));
+      match findings_of_rule "R003" report with
+      | [ f ] -> Alcotest.(check int) "R003 on the constant-index column write" 7 f.line
+      | fs -> Alcotest.fail (Printf.sprintf "expected exactly one R003, got %d" (List.length fs)))
+
+let test_race_allow () =
+  (* E/R findings merge into their file's batch before allows apply, so
+     the same audited [@@@lint.allow] machinery covers them. *)
+  with_wp_tree
+    ~patch:(fun w ->
+      w "lib/game/sim.ml"
+        "[@@@lint.allow \"R001\" \"fixture: reduction reviewed, single writer per key\"]\n\
+         [@@@lint.allow \"R002\" \"fixture: draw order intentionally shared\"]\n\
+         [@@@lint.allow \"R003\" \"fixture: constant slot owned by shard 0\"]\n\n\
+         let step col base out shards =\n\
+        \  Pool.iter_grid ~shards (fun s ->\n\
+        \      let r = Prng.split base s in\n\
+        \      let _ = Prng.int r 10 in\n\
+        \      let _ = Prng.int base 10 in\n\
+        \      Soa.F64.set col s 1.0;\n\
+        \      Soa.F64.set col 0 2.0;\n\
+        \      Helpers.bump \"x\";\n\
+        \      out.(s) <- float_of_int s;\n\
+        \      out.(0) <- 0.0)\n")
+    (fun dir ->
+      let report = L.run ~root:dir in
+      List.iter
+        (fun rule ->
+          Alcotest.(check int)
+            (rule ^ " suppressed") 0
+            (List.length (findings_of_rule rule report)))
+        [ "R001"; "R002"; "R003"; "A001" ];
+      let suppressed =
+        List.filter
+          (fun (f : F.t) -> f.suppressed <> None && f.file = "lib/game/sim.ml")
+          report.findings
+      in
+      Alcotest.(check int) "all four race findings survive as audited" 4
+        (List.length suppressed))
+
+let test_wp_exports_stable () =
+  with_wp_tree (fun dir ->
+      let r1 = L.run ~root:dir and r2 = L.run ~root:dir in
+      Alcotest.(check string) "callgraph byte-stable" (L.callgraph_json r1) (L.callgraph_json r2);
+      Alcotest.(check string) "effects byte-stable" (L.effects_json r1) (L.effects_json r2);
+      Alcotest.(check bool) "callgraph schema" true
+        (contains (L.callgraph_json r1) "\"schema\": \"bn-callgraph/1\"");
+      Alcotest.(check bool) "effects schema" true
+        (contains (L.effects_json r1) "\"schema\": \"bn-effects/1\"");
+      (* Cross-file resolution made it into the export: the kernel's call
+         edge to the clock helper. *)
+      Alcotest.(check bool) "edge resolved across files" true
+        (contains (L.callgraph_json r1) "lib/util/helpers.ml#now"))
+
+let test_invalid_root () =
+  let missing = "/nonexistent/bn-lint-root" in
+  Alcotest.check_raises "run raises" (L.Invalid_root missing) (fun () ->
+      ignore (L.run ~root:missing));
+  Alcotest.check_raises "parse_mls raises" (L.Invalid_root missing) (fun () ->
+      ignore (L.parse_mls ~root:missing));
+  (* The valid-root path still returns a report (exit-0 side of the
+     driver contract). *)
+  with_fixture_tree (fun dir -> ignore (L.run ~root:dir))
+
 (* {1 The repo itself is lint-clean} *)
 
 let test_repo_is_clean () =
@@ -261,6 +441,11 @@ let suite =
     Alcotest.test_case "allow: missing reason audited" `Quick test_allow_missing_reason;
     Alcotest.test_case "allow: unknown rule audited" `Quick test_allow_unknown_rule;
     Alcotest.test_case "allow: unused audited" `Quick test_allow_unused;
+    Alcotest.test_case "E001/E002 effect inference" `Quick test_effects_rules;
+    Alcotest.test_case "R001/R002/R003 race detection" `Quick test_race_rules;
+    Alcotest.test_case "race findings are suppressible and audited" `Quick test_race_allow;
+    Alcotest.test_case "callgraph/effects exports byte-stable" `Quick test_wp_exports_stable;
+    Alcotest.test_case "invalid --root raises" `Quick test_invalid_root;
     Alcotest.test_case "golden --json fixture report" `Quick test_golden_json;
     Alcotest.test_case "deleted suppression resurfaces" `Quick test_deleted_suppression_resurfaces;
     Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_clean;
